@@ -1,0 +1,176 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (DESIGN.md §5). Each benchmark runs its experiment on a deterministic
+// corpus slice and reports the experiment's headline statistic as a custom
+// metric alongside the usual time/op, so `go test -bench=.` doubles as the
+// reproduction harness at small scale; cmd/vliwexp runs the full
+// 1258-loop corpus.
+package vliwq_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/exp"
+	"vliwq/internal/ir"
+)
+
+// benchCorpus is the per-iteration workload: big enough for stable
+// percentages, small enough to iterate.
+func benchCorpus(b *testing.B) []*ir.Loop {
+	b.Helper()
+	return corpus.Generate(corpus.Params{Seed: corpus.DefaultSeed, N: 64})
+}
+
+// cell parses a table cell like "93.8%" or "4.25" into a float.
+func cell(b *testing.B, t *exp.Table, row int, col int) float64 {
+	b.Helper()
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		b.Fatalf("%s: no cell (%d,%d)", t.ID, row, col)
+	}
+	s := strings.TrimSuffix(strings.TrimSuffix(t.Rows[row][col], "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("%s: cell (%d,%d) = %q: %v", t.ID, row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+// BenchmarkFig3_QueuesRequired regenerates Fig. 3: % of loops schedulable
+// with <= 32 queues per machine, with copy operations.
+func BenchmarkFig3_QueuesRequired(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig3(exp.Options{Loops: loops})
+	}
+	// Rows alternate without/with copies for 4, 6, 12 FUs; col 5 is <=32.
+	b.ReportMetric(cell(b, last, 1, 5), "%loops<=32q/4FU")
+	b.ReportMetric(cell(b, last, 3, 5), "%loops<=32q/6FU")
+	b.ReportMetric(cell(b, last, 5, 5), "%loops<=32q/12FU")
+}
+
+// BenchmarkCopyCost regenerates the §2 text table: % of loops keeping the
+// same II after copy insertion (paper: ~95%).
+func BenchmarkCopyCost(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.CopyCost(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 0, 1), "%sameII/4FU")
+	b.ReportMetric(cell(b, last, 2, 1), "%sameII/12FU")
+}
+
+// BenchmarkFig4_IISpeedup regenerates Fig. 4: % of loops with
+// II_speedup > 1 from unrolling.
+func BenchmarkFig4_IISpeedup(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig4(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 0, 1), "%speedup>1/4FU")
+	b.ReportMetric(cell(b, last, 1, 1), "%speedup>1/6FU")
+	b.ReportMetric(cell(b, last, 2, 1), "%speedup>1/12FU")
+}
+
+// BenchmarkUnrollQueues regenerates the §3 queue-demand table (paper: >90%
+// of unrolled loops fit 32 queues).
+func BenchmarkUnrollQueues(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.UnrollQueues(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 2, 4), "%loops<=32q/12FU")
+}
+
+// BenchmarkFig6_IIVariation regenerates Fig. 6: % of loops whose
+// partitioned schedule keeps the single-cluster II, per cluster count.
+func BenchmarkFig6_IIVariation(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig6(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 0, 2), "%sameII/4clusters")
+	b.ReportMetric(cell(b, last, 1, 2), "%sameII/5clusters")
+	b.ReportMetric(cell(b, last, 2, 2), "%sameII/6clusters")
+}
+
+// BenchmarkClusterResources regenerates the §4 sizing result: % of loops
+// fitting the Fig. 7 cluster (8 private + 8/dir ring queues).
+func BenchmarkClusterResources(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.ClusterResources(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 0, 3), "%fitsFig7/4clusters")
+	b.ReportMetric(cell(b, last, 2, 3), "%fitsFig7/6clusters")
+}
+
+// BenchmarkFig8_IPCAllLoops regenerates Fig. 8's end points: static and
+// dynamic IPC at 4 and 18 FUs (single cluster), and clustered at 18.
+func BenchmarkFig8_IPCAllLoops(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig8(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 0, 1), "staticIPC/4FU")
+	b.ReportMetric(cell(b, last, 14, 1), "staticIPC/18FU-single")
+	b.ReportMetric(cell(b, last, 14, 2), "staticIPC/18FU-clustered")
+	b.ReportMetric(cell(b, last, 14, 3), "dynIPC/18FU-single")
+}
+
+// BenchmarkFig9_IPCResourceConstrained regenerates Fig. 9's end points on
+// the resource-constrained subset.
+func BenchmarkFig9_IPCResourceConstrained(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.Fig9(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 0, 1), "staticIPC/4FU")
+	b.ReportMetric(cell(b, last, 14, 1), "staticIPC/18FU-single")
+	b.ReportMetric(cell(b, last, 14, 2), "staticIPC/18FU-clustered")
+}
+
+// BenchmarkAblationCopyShape regenerates ablation A1: balanced tree vs
+// chain copy fanout.
+func BenchmarkAblationCopyShape(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.AblationCopyShape(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 0, 1), "meanII/tree")
+	b.ReportMetric(cell(b, last, 1, 1), "meanII/chain")
+}
+
+// BenchmarkAblationMoveOps regenerates ablation A2 (the paper's §5 future
+// work): same-II fraction with and without move operations at 6 clusters.
+func BenchmarkAblationMoveOps(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.AblationMoveOps(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 2, 1), "%sameII/6c-movesoff")
+	b.ReportMetric(cell(b, last, 2, 2), "%sameII/6c-moveson")
+}
+
+// BenchmarkAblationCommLatency regenerates ablation A3: sensitivity of the
+// II to inter-cluster communication latency.
+func BenchmarkAblationCommLatency(b *testing.B) {
+	loops := benchCorpus(b)
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		last = exp.AblationCommLatency(exp.Options{Loops: loops})
+	}
+	b.ReportMetric(cell(b, last, 1, 1), "%sameII/lat1")
+	b.ReportMetric(cell(b, last, 2, 1), "%sameII/lat2")
+}

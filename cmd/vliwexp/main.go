@@ -1,0 +1,78 @@
+// Command vliwexp regenerates the paper's evaluation: every figure and
+// table plus the ablations documented in DESIGN.md §5. By default it runs
+// the full 1258-loop corpus, which takes a few minutes; -n trades corpus
+// size for speed.
+//
+// Usage:
+//
+//	vliwexp                  # everything, full corpus
+//	vliwexp -fig fig6        # one experiment
+//	vliwexp -n 200 -seed 7   # smaller corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/exp"
+)
+
+var figures = map[string]func(exp.Options) *exp.Table{
+	"fig3":                exp.Fig3,
+	"copycost":            exp.CopyCost,
+	"fig4":                exp.Fig4,
+	"unrollqueues":        exp.UnrollQueues,
+	"fig6":                exp.Fig6,
+	"clusterres":          exp.ClusterResources,
+	"fig8":                exp.Fig8,
+	"fig9":                exp.Fig9,
+	"ablation-copyshape":  exp.AblationCopyShape,
+	"ablation-moves":      exp.AblationMoveOps,
+	"ablation-commlat":    exp.AblationCommLatency,
+	"ablation-invariants": exp.AblationInvariants,
+}
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment to run: all, or one of "+names())
+		n       = flag.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
+		seed    = flag.Int64("seed", corpus.DefaultSeed, "corpus seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts := exp.Options{
+		Loops:   corpus.Generate(corpus.Params{Seed: *seed, N: *n}),
+		Workers: *workers,
+	}
+	fmt.Printf("corpus: %d loops (seed %d)\n\n", *n, *seed)
+	if *fig == "all" {
+		exp.RunAll(os.Stdout, opts)
+		return
+	}
+	fn, ok := figures[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vliwexp: unknown figure %q; available: %s\n", *fig, names())
+		os.Exit(1)
+	}
+	fn(opts).Fprint(os.Stdout)
+}
+
+func names() string {
+	var out []string
+	for k := range figures {
+		out = append(out, k)
+	}
+	// Stable order for help text.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return strings.Join(out, ", ")
+}

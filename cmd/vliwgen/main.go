@@ -1,0 +1,87 @@
+// Command vliwgen inspects and exports the synthetic loop corpus that
+// stands in for the paper's 1258 Perfect Club loops (DESIGN.md §4).
+//
+// Usage:
+//
+//	vliwgen -stats                 # distribution summary of the corpus
+//	vliwgen -dump 3                # print loop #3 in the text format
+//	vliwgen -n 50 -seed 9 -stats   # alternative corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+	"vliwq/internal/sched"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", corpus.PaperCorpusSize, "corpus size")
+		seed  = flag.Int64("seed", corpus.DefaultSeed, "corpus seed")
+		stats = flag.Bool("stats", false, "print corpus distribution statistics")
+		dump  = flag.Int("dump", -1, "print loop #i in the text format")
+	)
+	flag.Parse()
+	loops := corpus.Generate(corpus.Params{Seed: *seed, N: *n})
+
+	switch {
+	case *dump >= 0:
+		if *dump >= len(loops) {
+			fmt.Fprintf(os.Stderr, "vliwgen: loop %d out of range (corpus has %d)\n", *dump, len(loops))
+			os.Exit(1)
+		}
+		if err := ir.Format(os.Stdout, loops[*dump]); err != nil {
+			fmt.Fprintln(os.Stderr, "vliwgen:", err)
+			os.Exit(1)
+		}
+	case *stats:
+		printStats(loops)
+	default:
+		flag.Usage()
+	}
+}
+
+func printStats(loops []*ir.Loop) {
+	var sizes []int
+	var ops, mem, alu, muldiv, fanned int
+	recBound := 0
+	cfg := machine.SingleCluster(18)
+	for _, l := range loops {
+		sizes = append(sizes, len(l.Ops))
+		for _, op := range l.Ops {
+			ops++
+			switch op.Kind {
+			case ir.KLoad, ir.KStore:
+				mem++
+			case ir.KAdd:
+				alu++
+			case ir.KMul, ir.KDiv:
+				muldiv++
+			}
+		}
+		if l.MaxFanout() > 1 {
+			fanned++
+		}
+		res, err := sched.ResMII(l, cfg)
+		if err == nil && sched.RecMII(l) > res {
+			recBound++
+		}
+	}
+	sort.Ints(sizes)
+	pick := func(q float64) int { return sizes[int(q*float64(len(sizes)-1))] }
+	fmt.Printf("loops:            %d\n", len(loops))
+	fmt.Printf("ops total:        %d (mean %.1f per loop)\n", ops, float64(ops)/float64(len(loops)))
+	fmt.Printf("size p10/50/90:   %d / %d / %d (max %d)\n", pick(.1), pick(.5), pick(.9), sizes[len(sizes)-1])
+	fmt.Printf("op mix:           %.0f%% mem, %.0f%% alu, %.0f%% mul+div\n",
+		100*float64(mem)/float64(ops), 100*float64(alu)/float64(ops), 100*float64(muldiv)/float64(ops))
+	fmt.Printf("multi-consumer:   %.0f%% of loops have a value with fanout > 1\n",
+		100*float64(fanned)/float64(len(loops)))
+	fmt.Printf("recurrence-bound: %.0f%% of loops (RecMII > ResMII at 18 FUs)\n",
+		100*float64(recBound)/float64(len(loops)))
+}

@@ -1,0 +1,146 @@
+// Command vliwsched compiles one innermost loop for a (possibly clustered)
+// queue-register-file VLIW machine and prints the modulo schedule, the
+// queue allocation and the headline metrics. The result is verified by
+// cycle-accurate simulation against sequential execution unless -noverify
+// is given.
+//
+// Usage:
+//
+//	vliwsched -kernel daxpy -machine clustered:4
+//	vliwsched -machine single:6 -unroll loop.txt
+//	vliwsched -dot loop.txt > ddg.dot
+//
+// The loop file format is documented in internal/ir (op/carried/mem/order
+// directives); -kernel selects one of the built-in scientific kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vliwq"
+	"vliwq/internal/copyins"
+	"vliwq/internal/corpus"
+	"vliwq/internal/ir"
+	"vliwq/internal/sched"
+)
+
+func main() {
+	var (
+		machineSpec = flag.String("machine", "single:6", "target machine: single:<fus> or clustered:<clusters>")
+		kernel      = flag.String("kernel", "", "compile a built-in kernel instead of a file (see -list)")
+		list        = flag.Bool("list", false, "list built-in kernels and exit")
+		doUnroll    = flag.Bool("unroll", false, "apply automatic loop unrolling")
+		factor      = flag.Int("factor", 0, "force a specific unroll factor (>= 2)")
+		shape       = flag.String("shape", "tree", "copy fanout shape: tree or chain")
+		noVerify    = flag.Bool("noverify", false, "skip simulator verification")
+		dot         = flag.Bool("dot", false, "print the dependence graph in DOT format and exit")
+		showKernel  = flag.Bool("schedule", true, "print the kernel schedule table")
+		emit        = flag.Bool("emit", false, "emit the complete pipelined program (prologue/kernel/epilogue)")
+		moves       = flag.Bool("moves", false, "enable the move-operation extension on clustered machines")
+		commLat     = flag.Int("commlat", 0, "inter-cluster communication latency in cycles")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range corpus.Kernels() {
+			fmt.Printf("%-12s %2d ops, trip %d\n", k.Name, len(k.Ops), k.TripCount())
+		}
+		return
+	}
+
+	loop, err := loadLoop(*kernel, flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := ir.WriteDot(os.Stdout, loop); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg, err := parseMachine(*machineSpec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.AllowMoves = *moves
+	cfg.CommLatency = *commLat
+
+	opts := vliwq.Options{
+		Machine:      cfg,
+		Unroll:       *doUnroll,
+		UnrollFactor: *factor,
+		SkipVerify:   *noVerify,
+	}
+	if *shape == "chain" {
+		opts.CopyShape = copyins.Chain
+	}
+	res, err := vliwq.Compile(loop, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Report())
+	if !*noVerify {
+		fmt.Println("  verified: pipelined execution matches sequential reference")
+	}
+	if *showKernel {
+		fmt.Println("\nkernel (cycle mod II, per cluster; op@issue-cycle):")
+		fmt.Print(res.KernelSchedule())
+	}
+	fmt.Println("\nqueue allocation:")
+	for _, f := range res.Alloc.Files {
+		fmt.Printf("  %-12v %d queues, depths %v\n", f.Loc, f.Queues, f.MaxOccupancy)
+	}
+	if *emit {
+		fmt.Println("\npipelined program:")
+		if err := sched.EmitPipelined(os.Stdout, res.Sched); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadLoop(kernel, path string) (*vliwq.Loop, error) {
+	if kernel != "" {
+		l := corpus.KernelByName(kernel)
+		if l == nil {
+			return nil, fmt.Errorf("unknown kernel %q (use -list)", kernel)
+		}
+		return l, nil
+	}
+	if path == "" || path == "-" {
+		return vliwq.ReadLoop(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return vliwq.ReadLoop(f)
+}
+
+func parseMachine(spec string) (vliwq.Machine, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return vliwq.Machine{}, fmt.Errorf("bad machine spec %q (want single:<n> or clustered:<n>)", spec)
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return vliwq.Machine{}, fmt.Errorf("bad machine size %q", arg)
+	}
+	switch kind {
+	case "single":
+		return vliwq.SingleCluster(n), nil
+	case "clustered":
+		return vliwq.Clustered(n), nil
+	}
+	return vliwq.Machine{}, fmt.Errorf("unknown machine kind %q", kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vliwsched:", err)
+	os.Exit(1)
+}

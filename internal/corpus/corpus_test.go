@@ -1,0 +1,171 @@
+package corpus
+
+import (
+	"testing"
+
+	"vliwq/internal/ir"
+	"vliwq/internal/sched"
+)
+
+func TestStandardCorpusShape(t *testing.T) {
+	loops := Standard()
+	if len(loops) != PaperCorpusSize {
+		t.Fatalf("corpus size %d, want %d", len(loops), PaperCorpusSize)
+	}
+	for _, l := range loops {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Generate(Params{Seed: 99, N: 30})
+	b := Generate(Params{Seed: 99, N: 30})
+	for i := range a {
+		if ir.FormatString(a[i]) != ir.FormatString(b[i]) {
+			t.Fatalf("loop %d differs between identically seeded runs", i)
+		}
+	}
+	c := Generate(Params{Seed: 100, N: 30})
+	same := 0
+	for i := range a {
+		if ir.FormatString(a[i]) == ir.FormatString(c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestCorpusDistributions sanity-checks the generator against its declared
+// targets: op mix, recurrence frequency, body sizes.
+func TestCorpusDistributions(t *testing.T) {
+	loops := Standard()
+	var ops, ls, alu, muldiv int
+	var withRec, small, big int
+	sizes := 0
+	for _, l := range loops {
+		sizes += len(l.Ops)
+		if len(l.Ops) <= 20 {
+			small++
+		}
+		if len(l.Ops) > 60 {
+			big++
+		}
+		if sched.RecMII(l) > 1 {
+			withRec++
+		}
+		for _, op := range l.Ops {
+			ops++
+			switch op.Kind {
+			case ir.KLoad, ir.KStore:
+				ls++
+			case ir.KAdd:
+				alu++
+			case ir.KMul, ir.KDiv:
+				muldiv++
+			}
+		}
+	}
+	frac := func(n int) float64 { return float64(n) / float64(ops) }
+	if f := frac(ls); f < 0.25 || f > 0.55 {
+		t.Errorf("memory-op fraction %.2f outside [0.25,0.55]", f)
+	}
+	if f := frac(alu); f < 0.3 || f > 0.6 {
+		t.Errorf("ALU fraction %.2f outside [0.3,0.6]", f)
+	}
+	if f := frac(muldiv); f < 0.08 || f > 0.3 {
+		t.Errorf("mul/div fraction %.2f outside [0.08,0.3]", f)
+	}
+	recFrac := float64(withRec) / float64(len(loops))
+	if recFrac < 0.25 || recFrac > 0.65 {
+		t.Errorf("recurrence fraction %.2f outside [0.25,0.65]", recFrac)
+	}
+	mean := float64(sizes) / float64(len(loops))
+	if mean < 6 || mean > 25 {
+		t.Errorf("mean body size %.1f outside [6,25]", mean)
+	}
+	if small < len(loops)/2 {
+		t.Errorf("only %d/%d loops are small (<=20 ops)", small, len(loops))
+	}
+	if big == 0 {
+		t.Error("no large loops in the corpus tail")
+	}
+}
+
+// TestCorpusNoDeadValues: every produced value has at least one consumer,
+// so queues always drain.
+func TestCorpusNoDeadValues(t *testing.T) {
+	for _, l := range Generate(Params{Seed: 4, N: 100}) {
+		consumed := make([]bool, len(l.Ops))
+		for _, d := range l.Deps {
+			if d.Kind == ir.Flow {
+				consumed[d.From] = true
+			}
+		}
+		for id, op := range l.Ops {
+			if op.Kind.HasResult() && !consumed[id] {
+				t.Fatalf("%s: %v produces a dead value", l.Name, op)
+			}
+		}
+	}
+}
+
+func TestKernelsValidate(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 12 {
+		t.Fatalf("only %d kernels", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if err := k.Validate(); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if seen[k.Name] {
+			t.Fatalf("duplicate kernel name %s", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	if KernelByName("daxpy") == nil {
+		t.Fatal("daxpy missing")
+	}
+	if KernelByName("nope") != nil {
+		t.Fatal("unknown kernel found")
+	}
+}
+
+func TestKernelsAreFreshCopies(t *testing.T) {
+	a := KernelByName("daxpy")
+	a.Ops[0].Kind = ir.KDiv
+	b := KernelByName("daxpy")
+	if b.Ops[0].Kind == ir.KDiv {
+		t.Fatal("kernels share state across calls")
+	}
+}
+
+// TestKernelRecurrenceStructure pins the recurrence-bound kernels: those
+// whose RecMII exceeds 1 (ddot/prefixsum/spmvrow carry recurrences too,
+// but a 1-cycle ALU self-loop does not raise RecMII above 1).
+func TestKernelRecurrenceStructure(t *testing.T) {
+	rec := map[string]bool{
+		"horner": true, "tridiag": true, "divnorm": true, "wave2": true,
+		"ddot": false, "prefixsum": false, "spmvrow": false,
+		"daxpy": false, "fir5": false, "stencil3": false, "hydro": false,
+		"complexmul": false,
+	}
+	for name, wantRec := range rec {
+		l := KernelByName(name)
+		if l == nil {
+			t.Fatalf("kernel %s missing", name)
+		}
+		got := sched.RecMII(l) > 1
+		if got != wantRec {
+			t.Errorf("%s: recurrence-bound=%v, want %v (RecMII=%d)", name, got, wantRec, sched.RecMII(l))
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package corpus
+
+import "vliwq/internal/ir"
+
+// Hand-written scientific kernels: the loop shapes the paper's introduction
+// motivates (vector updates, reductions, filters, stencils, recurrences).
+// Loop-invariant scalars (the a in daxpy, filter taps, etc.) are modeled as
+// per-iteration leaf loads — the paper's baseline treatment; its §5 names
+// invariant handling as work in progress, which exp.AblationInvariants
+// quantifies by comparing against hypothetically hoisted variants.
+
+// Kernels returns fresh copies of all hand-written kernels.
+func Kernels() []*ir.Loop {
+	return []*ir.Loop{
+		Daxpy(), Ddot(), FIR5(), Stencil3(), Horner(), Hydro(),
+		Tridiag(), PrefixSum(), ComplexMul(), DivNorm(), Wave2(), SpMVRow(),
+	}
+}
+
+// KernelByName returns the named kernel, or nil.
+func KernelByName(name string) *ir.Loop {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// Daxpy is y[i] = a*x[i] + y[i] — the BLAS level-1 update.
+func Daxpy() *ir.Loop {
+	l := ir.New("daxpy")
+	l.Trip = 256
+	a := l.AddOp(ir.KLoad, "a")
+	x := l.AddOp(ir.KLoad, "x")
+	y := l.AddOp(ir.KLoad, "y")
+	m := l.AddOp(ir.KMul, "ax")
+	l.AddFlow(a, m)
+	l.AddFlow(x, m)
+	s := l.AddOp(ir.KAdd, "sum")
+	l.AddFlow(m, s)
+	l.AddFlow(y, s)
+	st := l.AddOp(ir.KStore, "sty")
+	l.AddFlow(s, st)
+	return l
+}
+
+// Ddot is s += x[i]*y[i] — a reduction with a 1-cycle recurrence on the
+// accumulator; the partial sum is also stored each iteration so the value
+// always has a consumer.
+func Ddot() *ir.Loop {
+	l := ir.New("ddot")
+	l.Trip = 256
+	x := l.AddOp(ir.KLoad, "x")
+	y := l.AddOp(ir.KLoad, "y")
+	m := l.AddOp(ir.KMul, "xy")
+	l.AddFlow(x, m)
+	l.AddFlow(y, m)
+	acc := l.AddOp(ir.KAdd, "acc")
+	l.AddFlow(m, acc)
+	l.AddCarried(acc, acc, 1)
+	st := l.AddOp(ir.KStore, "sts")
+	l.AddFlow(acc, st)
+	return l
+}
+
+// FIR5 is a 5-tap finite impulse response filter:
+// y[i] = sum_j c[j]*x[i+j].
+func FIR5() *ir.Loop {
+	l := ir.New("fir5")
+	l.Trip = 200
+	var sum *ir.Op
+	for j := 0; j < 5; j++ {
+		c := l.AddOp(ir.KLoad, "")
+		x := l.AddOp(ir.KLoad, "")
+		m := l.AddOp(ir.KMul, "")
+		l.AddFlow(c, m)
+		l.AddFlow(x, m)
+		if sum == nil {
+			sum = m
+			continue
+		}
+		s := l.AddOp(ir.KAdd, "")
+		l.AddFlow(sum, s)
+		l.AddFlow(m, s)
+		sum = s
+	}
+	st := l.AddOp(ir.KStore, "sty")
+	l.AddFlow(sum, st)
+	return l
+}
+
+// Stencil3 is a[i] = (b[i-1] + b[i] + b[i+1]) * c.
+func Stencil3() *ir.Loop {
+	l := ir.New("stencil3")
+	l.Trip = 300
+	b0 := l.AddOp(ir.KLoad, "bm1")
+	b1 := l.AddOp(ir.KLoad, "b0")
+	b2 := l.AddOp(ir.KLoad, "bp1")
+	c := l.AddOp(ir.KLoad, "c")
+	s1 := l.AddOp(ir.KAdd, "s1")
+	l.AddFlow(b0, s1)
+	l.AddFlow(b1, s1)
+	s2 := l.AddOp(ir.KAdd, "s2")
+	l.AddFlow(s1, s2)
+	l.AddFlow(b2, s2)
+	m := l.AddOp(ir.KMul, "m")
+	l.AddFlow(s2, m)
+	l.AddFlow(c, m)
+	st := l.AddOp(ir.KStore, "sta")
+	l.AddFlow(m, st)
+	return l
+}
+
+// Horner evaluates a polynomial: p = p*x + c[i], a multiply-add recurrence.
+func Horner() *ir.Loop {
+	l := ir.New("horner")
+	l.Trip = 64
+	x := l.AddOp(ir.KLoad, "x")
+	c := l.AddOp(ir.KLoad, "c")
+	m := l.AddOp(ir.KMul, "px")
+	l.AddFlow(x, m)
+	a := l.AddOp(ir.KAdd, "p")
+	l.AddFlow(m, a)
+	l.AddFlow(c, a)
+	l.AddCarried(a, m, 1) // p from the previous iteration feeds the multiply
+	st := l.AddOp(ir.KStore, "stp")
+	l.AddFlow(a, st)
+	return l
+}
+
+// Hydro is Livermore kernel 1 (hydro fragment):
+// x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func Hydro() *ir.Loop {
+	l := ir.New("hydro")
+	l.Trip = 400
+	y := l.AddOp(ir.KLoad, "y")
+	z10 := l.AddOp(ir.KLoad, "z10")
+	z11 := l.AddOp(ir.KLoad, "z11")
+	r := l.AddOp(ir.KLoad, "r")
+	t := l.AddOp(ir.KLoad, "t")
+	q := l.AddOp(ir.KLoad, "q")
+	m1 := l.AddOp(ir.KMul, "rz")
+	l.AddFlow(r, m1)
+	l.AddFlow(z10, m1)
+	m2 := l.AddOp(ir.KMul, "tz")
+	l.AddFlow(t, m2)
+	l.AddFlow(z11, m2)
+	a1 := l.AddOp(ir.KAdd, "inner")
+	l.AddFlow(m1, a1)
+	l.AddFlow(m2, a1)
+	m3 := l.AddOp(ir.KMul, "ym")
+	l.AddFlow(y, m3)
+	l.AddFlow(a1, m3)
+	a2 := l.AddOp(ir.KAdd, "outer")
+	l.AddFlow(q, a2)
+	l.AddFlow(m3, a2)
+	st := l.AddOp(ir.KStore, "stx")
+	l.AddFlow(a2, st)
+	return l
+}
+
+// Tridiag is a first-order linear recurrence:
+// x[i] = z[i]*(y[i] - x[i-1]) (Livermore kernel 5 shape).
+func Tridiag() *ir.Loop {
+	l := ir.New("tridiag")
+	l.Trip = 128
+	z := l.AddOp(ir.KLoad, "z")
+	y := l.AddOp(ir.KLoad, "y")
+	sub := l.AddOp(ir.KAdd, "diff")
+	l.AddFlow(y, sub)
+	m := l.AddOp(ir.KMul, "x")
+	l.AddFlow(z, m)
+	l.AddFlow(sub, m)
+	l.AddCarried(m, sub, 1) // x[i-1] feeds the subtract
+	st := l.AddOp(ir.KStore, "stx")
+	l.AddFlow(m, st)
+	return l
+}
+
+// PrefixSum is s[i] = s[i-1] + a[i].
+func PrefixSum() *ir.Loop {
+	l := ir.New("prefixsum")
+	l.Trip = 256
+	a := l.AddOp(ir.KLoad, "a")
+	s := l.AddOp(ir.KAdd, "s")
+	l.AddFlow(a, s)
+	l.AddCarried(s, s, 1)
+	st := l.AddOp(ir.KStore, "sts")
+	l.AddFlow(s, st)
+	return l
+}
+
+// ComplexMul multiplies two complex vectors:
+// (cr,ci) = (ar*br - ai*bi, ar*bi + ai*br); each input value is consumed
+// twice, exercising copy insertion.
+func ComplexMul() *ir.Loop {
+	l := ir.New("complexmul")
+	l.Trip = 200
+	ar := l.AddOp(ir.KLoad, "ar")
+	ai := l.AddOp(ir.KLoad, "ai")
+	br := l.AddOp(ir.KLoad, "br")
+	bi := l.AddOp(ir.KLoad, "bi")
+	m1 := l.AddOp(ir.KMul, "arbr")
+	l.AddFlow(ar, m1)
+	l.AddFlow(br, m1)
+	m2 := l.AddOp(ir.KMul, "aibi")
+	l.AddFlow(ai, m2)
+	l.AddFlow(bi, m2)
+	m3 := l.AddOp(ir.KMul, "arbi")
+	l.AddFlow(ar, m3)
+	l.AddFlow(bi, m3)
+	m4 := l.AddOp(ir.KMul, "aibr")
+	l.AddFlow(ai, m4)
+	l.AddFlow(br, m4)
+	cr := l.AddOp(ir.KAdd, "cr")
+	l.AddFlow(m1, cr)
+	l.AddFlow(m2, cr)
+	ci := l.AddOp(ir.KAdd, "ci")
+	l.AddFlow(m3, ci)
+	l.AddFlow(m4, ci)
+	st1 := l.AddOp(ir.KStore, "stcr")
+	l.AddFlow(cr, st1)
+	st2 := l.AddOp(ir.KStore, "stci")
+	l.AddFlow(ci, st2)
+	return l
+}
+
+// DivNorm normalizes through a division inside a recurrence:
+// x = (x + a[i]) / b[i]; the long divide latency stresses RecMII.
+func DivNorm() *ir.Loop {
+	l := ir.New("divnorm")
+	l.Trip = 100
+	a := l.AddOp(ir.KLoad, "a")
+	b := l.AddOp(ir.KLoad, "b")
+	s := l.AddOp(ir.KAdd, "s")
+	l.AddFlow(a, s)
+	d := l.AddOp(ir.KDiv, "x")
+	l.AddFlow(s, d)
+	l.AddFlow(b, d)
+	l.AddCarried(d, s, 1)
+	st := l.AddOp(ir.KStore, "stx")
+	l.AddFlow(d, st)
+	return l
+}
+
+// Wave2 is a second-order recurrence: u[i] = 2*u[i-1] - u[i-2] + f[i],
+// carrying distances 1 and 2.
+func Wave2() *ir.Loop {
+	l := ir.New("wave2")
+	l.Trip = 150
+	f := l.AddOp(ir.KLoad, "f")
+	twice := l.AddOp(ir.KMul, "2u") // 2*u[i-1]
+	diff := l.AddOp(ir.KAdd, "du")  // 2*u[i-1] - u[i-2]
+	l.AddFlow(twice, diff)
+	u := l.AddOp(ir.KAdd, "u")
+	l.AddFlow(diff, u)
+	l.AddFlow(f, u)
+	l.AddCarried(u, twice, 1)
+	l.AddCarried(u, diff, 2)
+	st := l.AddOp(ir.KStore, "stu")
+	l.AddFlow(u, st)
+	return l
+}
+
+// SpMVRow is one row of a sparse matrix-vector product:
+// y += val[j] * x[col[j]] — an indirect load feeding a reduction.
+func SpMVRow() *ir.Loop {
+	l := ir.New("spmvrow")
+	l.Trip = 80
+	col := l.AddOp(ir.KLoad, "col")
+	x := l.AddOp(ir.KLoad, "x")
+	l.AddFlow(col, x) // indirect address
+	val := l.AddOp(ir.KLoad, "val")
+	m := l.AddOp(ir.KMul, "vx")
+	l.AddFlow(val, m)
+	l.AddFlow(x, m)
+	acc := l.AddOp(ir.KAdd, "acc")
+	l.AddFlow(m, acc)
+	l.AddCarried(acc, acc, 1)
+	st := l.AddOp(ir.KStore, "sty")
+	l.AddFlow(acc, st)
+	return l
+}

@@ -1,0 +1,180 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results). Each experiment consumes a loop corpus,
+// drives the full compilation pipeline (unrolling, copy insertion, modulo
+// scheduling / partitioning, queue allocation) and reduces the outcomes to
+// the statistic the paper plots.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+
+	"vliwq/internal/copyins"
+	"vliwq/internal/corpus"
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+	"vliwq/internal/queue"
+	"vliwq/internal/sched"
+	"vliwq/internal/unroll"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Loops is the corpus; nil uses corpus.Standard() (1258 loops).
+	Loops []*ir.Loop
+	// Workers bounds parallel loop compilation; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) loops() []*ir.Loop {
+	if o.Loops != nil {
+		return o.Loops
+	}
+	return corpus.Standard()
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "fig3"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for i, h := range t.Header {
+		if i > 0 {
+			fmt.Fprint(tw, "\t")
+		}
+		fmt.Fprint(tw, h)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// compiled is one loop pushed through the full pipeline.
+type compiled struct {
+	Loop   *ir.Loop // original loop
+	Factor int      // unroll factor applied
+	Sched  *sched.Schedule
+	Alloc  *queue.Allocation
+	Err    error
+}
+
+// pipeline options for compileLoop.
+type pipeOpts struct {
+	unroll     bool
+	copies     bool
+	shape      copyins.Shape
+	schedOpts  sched.Options
+	factorFrom *machine.Config // machine used for AutoFactor; nil = target
+}
+
+// compileLoop runs unroll -> copy insertion -> scheduling -> allocation.
+func compileLoop(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
+	c := compiled{Loop: l, Factor: 1}
+	work := l
+	if po.unroll {
+		fm := cfg
+		if po.factorFrom != nil {
+			fm = *po.factorFrom
+		}
+		c.Factor = unroll.AutoFactor(l, fm)
+		u, err := unroll.Unroll(l, c.Factor)
+		if err != nil {
+			c.Err = err
+			return c
+		}
+		work = u
+	}
+	if po.copies {
+		ins, err := copyins.Insert(work, po.shape)
+		if err != nil {
+			c.Err = err
+			return c
+		}
+		work = ins.Loop
+	}
+	s, err := sched.ScheduleLoop(work, cfg, po.schedOpts)
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	c.Sched = s
+	c.Alloc = queue.Allocate(s)
+	return c
+}
+
+// forEach compiles fn over the corpus with a bounded worker pool, keeping
+// result order aligned with the input order.
+func forEach[T any](loops []*ir.Loop, workers int, fn func(l *ir.Loop) T) []T {
+	out := make([]T, len(loops))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, l := range loops {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, l *ir.Loop) {
+			defer wg.Done()
+			out[i] = fn(l)
+			<-sem
+		}(i, l)
+	}
+	wg.Wait()
+	return out
+}
+
+func pct(n, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+// RunAll regenerates every figure and table in order and writes them to w.
+func RunAll(w io.Writer, opts Options) {
+	for _, t := range []*Table{
+		Fig3(opts),
+		CopyCost(opts),
+		Fig4(opts),
+		UnrollQueues(opts),
+		Fig6(opts),
+		ClusterResources(opts),
+		Fig8(opts),
+		Fig9(opts),
+		AblationCopyShape(opts),
+		AblationMoveOps(opts),
+		AblationCommLatency(opts),
+		AblationInvariants(opts),
+	} {
+		t.Fprint(w)
+	}
+}

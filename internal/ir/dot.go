@@ -1,0 +1,41 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the dependence graph in Graphviz DOT format. Flow
+// dependences are solid, memory dependences dashed, ordering dependences
+// dotted; loop-carried edges are labeled with their distance.
+func WriteDot(w io.Writer, l *Loop) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", l.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, op := range l.Ops {
+		label := fmt.Sprintf("%d: %s", op.ID, op.Kind)
+		if op.Name != "" {
+			label = fmt.Sprintf("%s\\n%s", op.Name, op.Kind)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", op.ID, label)
+	}
+	for _, d := range l.Deps {
+		style := "solid"
+		switch d.Kind {
+		case Mem:
+			style = "dashed"
+		case Order:
+			style = "dotted"
+		}
+		if d.Dist > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=%s, label=\"%d\", constraint=false];\n",
+				d.From, d.To, style, d.Dist)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=%s];\n", d.From, d.To, style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

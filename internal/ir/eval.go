@@ -1,0 +1,59 @@
+package ir
+
+// Operation semantics for simulation. The reference executor and the
+// pipelined QRF simulator both evaluate operations through Eval, so a value
+// mismatch between the two always indicates a scheduling, allocation or
+// machine-model bug rather than divergent semantics.
+
+// mix64 is a strong 64-bit finalizer (splitmix64); it spreads op IDs and
+// iteration numbers so that distinct instances produce distinct values with
+// overwhelming probability, making tag/value confusion detectable.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// LeafValue returns the value produced by an operation with no flow inputs
+// in the given iteration (negative iterations yield the live-in values that
+// exist before the loop starts).
+func LeafValue(opID int, iter int) int64 {
+	return int64(mix64(uint64(opID)*0x100000001b3 ^ uint64(int64(iter))))
+}
+
+// Eval computes the result of one operation instance. iter must be the
+// iteration in the original (pre-unrolling) iteration space — see
+// Loop.OrigIter. args holds the values of the flow inputs in FlowInputs
+// order. Operations with no inputs produce LeafValue; stores produce the
+// value they observe (recorded, not written to a queue); everything else
+// combines its operands with a kind-specific, deterministic function salted
+// by the op's effective ID, so unrolled replicas compute exactly the
+// function of their original.
+func Eval(op *Op, iter int, args []int64) int64 {
+	if len(args) == 0 {
+		return LeafValue(op.EffID(), iter)
+	}
+	salt := int64(mix64(uint64(op.EffID()) | uint64(op.Kind)<<32))
+	a := args[0]
+	b := salt
+	if len(args) > 1 {
+		b = args[1]
+	}
+	switch op.Kind {
+	case KLoad:
+		// Loads with an address operand return a function of the address.
+		return int64(mix64(uint64(a))) ^ salt
+	case KStore:
+		return a
+	case KAdd:
+		return a + b + salt
+	case KMul:
+		return a*3 + b*5 + salt
+	case KDiv:
+		return a - b>>1 + salt
+	case KCopy, KMove:
+		return a
+	}
+	return a ^ b ^ salt
+}

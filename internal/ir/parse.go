@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text loop format, used by cmd/vliwsched and the examples:
+//
+//	# comment
+//	loop daxpy
+//	trip 200
+//	op a  load            # leaf load
+//	op x  load
+//	op m  mul a           # operands are names of earlier ops (flow, dist 0)
+//	op s  add m x
+//	op st store s
+//	carried s m 1         # loop-carried flow dep, distance 1
+//	mem st a 1            # memory ordering dep
+//	order st st2 0        # generic ordering dep
+//
+// One loop per stream. Operand references create intra-iteration flow
+// dependences in the listed order.
+
+// Parse reads a loop in the text format from r.
+func Parse(r io.Reader) (*Loop, error) {
+	l := New("")
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	byName := map[string]*Op{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("ir: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "loop":
+			if len(fields) != 2 {
+				return nil, fail("loop needs exactly one name")
+			}
+			l.Name = fields[1]
+		case "trip":
+			if len(fields) != 2 {
+				return nil, fail("trip needs exactly one count")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fail("bad trip count %q", fields[1])
+			}
+			l.Trip = n
+		case "op":
+			if len(fields) < 3 {
+				return nil, fail("op needs a name and a kind")
+			}
+			name := fields[1]
+			if _, dup := byName[name]; dup {
+				return nil, fail("duplicate op name %q", name)
+			}
+			kind, ok := parseKind(fields[2])
+			if !ok {
+				return nil, fail("unknown op kind %q", fields[2])
+			}
+			op := l.AddOp(kind, name)
+			byName[name] = op
+			for _, operand := range fields[3:] {
+				src, ok := byName[operand]
+				if !ok {
+					return nil, fail("unknown operand %q", operand)
+				}
+				l.AddFlow(src, op)
+			}
+		case "carried", "mem", "order":
+			if len(fields) != 4 {
+				return nil, fail("%s needs <from> <to> <dist>", fields[0])
+			}
+			from, ok := byName[fields[1]]
+			if !ok {
+				return nil, fail("unknown op %q", fields[1])
+			}
+			to, ok := byName[fields[2]]
+			if !ok {
+				return nil, fail("unknown op %q", fields[2])
+			}
+			dist, err := strconv.Atoi(fields[3])
+			if err != nil || dist < 0 {
+				return nil, fail("bad distance %q", fields[3])
+			}
+			kind := Flow
+			switch fields[0] {
+			case "mem":
+				kind = Mem
+			case "order":
+				kind = Order
+			}
+			if kind == Flow && dist == 0 {
+				return nil, fail("carried distance must be >= 1 (use op operands for dist 0)")
+			}
+			l.AddDep(Dep{From: from.ID, To: to.ID, Dist: dist, Kind: kind})
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ir: reading loop: %w", err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ParseString parses a loop from a string.
+func ParseString(s string) (*Loop, error) { return Parse(strings.NewReader(s)) }
+
+func parseKind(s string) (OpKind, bool) {
+	switch s {
+	case "load":
+		return KLoad, true
+	case "store":
+		return KStore, true
+	case "add", "sub", "alu", "cmp":
+		return KAdd, true
+	case "mul":
+		return KMul, true
+	case "div":
+		return KDiv, true
+	case "copy":
+		return KCopy, true
+	case "move":
+		return KMove, true
+	}
+	return KInvalid, false
+}
+
+// Format writes the loop back in the text format. Flow dependences with
+// distance zero become operand lists; everything else becomes explicit
+// directives. Ops without names are given op<ID> names.
+func Format(w io.Writer, l *Loop) error {
+	bw := bufio.NewWriter(w)
+	name := func(op *Op) string {
+		if op.Name != "" {
+			return op.Name
+		}
+		return fmt.Sprintf("op%d", op.ID)
+	}
+	fmt.Fprintf(bw, "loop %s\n", l.Name)
+	if l.Trip > 0 {
+		fmt.Fprintf(bw, "trip %d\n", l.Trip)
+	}
+	for _, op := range l.Ops {
+		fmt.Fprintf(bw, "op %s %s", name(op), op.Kind)
+		for _, d := range l.FlowInputs(op) {
+			if d.Dist == 0 {
+				fmt.Fprintf(bw, " %s", name(l.Ops[d.From]))
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, d := range l.Deps {
+		switch {
+		case d.Kind == Flow && d.Dist > 0:
+			fmt.Fprintf(bw, "carried %s %s %d\n", name(l.Ops[d.From]), name(l.Ops[d.To]), d.Dist)
+		case d.Kind == Mem:
+			fmt.Fprintf(bw, "mem %s %s %d\n", name(l.Ops[d.From]), name(l.Ops[d.To]), d.Dist)
+		case d.Kind == Order:
+			fmt.Fprintf(bw, "order %s %s %d\n", name(l.Ops[d.From]), name(l.Ops[d.To]), d.Dist)
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatString returns the loop in the text format.
+func FormatString(l *Loop) string {
+	var b strings.Builder
+	if err := Format(&b, l); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors returned by Loop.Validate. They are wrapped with
+// positional context; use errors.Is to test for them.
+var (
+	ErrEmptyLoop      = errors.New("ir: loop has no operations")
+	ErrBadOpID        = errors.New("ir: dependence references an unknown op")
+	ErrBadKind        = errors.New("ir: operation has an invalid kind")
+	ErrNegativeDist   = errors.New("ir: dependence has a negative distance")
+	ErrZeroDistCycle  = errors.New("ir: zero-distance dependence cycle")
+	ErrSelfDep        = errors.New("ir: zero-distance self dependence")
+	ErrStoreProduces  = errors.New("ir: store operation used as a value producer")
+	ErrTooManyInputs  = errors.New("ir: operation has more flow inputs than its kind allows")
+	ErrMisnumberedOps = errors.New("ir: op IDs are not dense indices")
+)
+
+// Validate checks the structural invariants of the loop:
+//
+//   - at least one operation, dense op IDs, valid kinds;
+//   - all dependence endpoints exist, distances are non-negative;
+//   - no zero-distance self dependences, no zero-distance cycles;
+//   - stores never act as value producers;
+//   - no operation has more flow inputs than its kind can read.
+func (l *Loop) Validate() error {
+	if len(l.Ops) == 0 {
+		return ErrEmptyLoop
+	}
+	for i, op := range l.Ops {
+		if op == nil || op.ID != i {
+			return fmt.Errorf("%w: index %d", ErrMisnumberedOps, i)
+		}
+		if !op.Kind.Valid() {
+			return fmt.Errorf("%w: %v", ErrBadKind, op)
+		}
+	}
+	nIn := make([]int, len(l.Ops))
+	for _, d := range l.Deps {
+		if d.From < 0 || d.From >= len(l.Ops) || d.To < 0 || d.To >= len(l.Ops) {
+			return fmt.Errorf("%w: %v", ErrBadOpID, d)
+		}
+		if d.Dist < 0 {
+			return fmt.Errorf("%w: %v", ErrNegativeDist, d)
+		}
+		if d.From == d.To && d.Dist == 0 {
+			return fmt.Errorf("%w: %v", ErrSelfDep, d)
+		}
+		if d.Kind == Flow {
+			if !l.Ops[d.From].Kind.HasResult() {
+				return fmt.Errorf("%w: %v", ErrStoreProduces, d)
+			}
+			nIn[d.To]++
+		}
+	}
+	for i, op := range l.Ops {
+		if nIn[i] > op.Kind.MaxInputs() {
+			return fmt.Errorf("%w: %v has %d", ErrTooManyInputs, op, nIn[i])
+		}
+	}
+	if _, err := l.TopoOrder(); err != nil {
+		return fmt.Errorf("%w: %v", ErrZeroDistCycle, err)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package queue models the paper's queue register files (QRF): lifetimes of
+// modulo-scheduled values, the Q-Compatibility test (Theorem 1.1) deciding
+// when two lifetimes may share one FIFO queue, and a greedy first-fit
+// allocator that maps every flow dependence of a schedule to a queue in the
+// producing/consuming cluster's private QRF or in a ring communication
+// queue.
+package queue
+
+import (
+	"fmt"
+
+	"vliwq/internal/ir"
+	"vliwq/internal/sched"
+)
+
+// Lifetime is the interval a value occupies a queue: from the cycle its
+// producer writes it (issue + latency, plus communication latency when it
+// crosses clusters) to the cycle its consumer reads it (consumer issue time,
+// plus II*distance for loop-carried dependences). Each flow dependence is
+// one lifetime, because reading a queue destroys the value.
+type Lifetime struct {
+	Dep      ir.Dep // the flow dependence this lifetime carries
+	DepIndex int    // index of Dep in Loop.Deps (distinguishes duplicates)
+	Start    int    // write cycle
+	End      int    // read cycle (End >= Start)
+}
+
+// Len returns the lifetime length in cycles.
+func (lt Lifetime) Len() int { return lt.End - lt.Start }
+
+func (lt Lifetime) String() string {
+	return fmt.Sprintf("[%d,%d) %v", lt.Start, lt.End, lt.Dep)
+}
+
+// Compatible implements Theorem 1.1: two lifetimes may share a FIFO queue
+// if and only if, taking La >= Lb,
+//
+//	La - Lb  <  (Sb - Sa) mod II.
+//
+// The condition guarantees that across all iteration instances the
+// production order equals the consumption order, with no two writes or two
+// reads of the queue in the same cycle (see DESIGN.md §3 for the
+// derivation; TestCompatibleMatchesFIFOSimulation validates it by brute
+// force).
+func Compatible(a, b Lifetime, ii int) bool {
+	la, lb := a.Len(), b.Len()
+	sa, sb := a.Start, b.Start
+	if la < lb {
+		la, lb = lb, la
+		sa, sb = sb, sa
+	}
+	g := ((sb-sa)%ii + ii) % ii
+	return la-lb < g
+}
+
+// CompatibleSet reports whether every pair in the set is compatible;
+// pairwise compatibility implies whole-set FIFO correctness.
+func CompatibleSet(lts []Lifetime, ii int) bool {
+	for i := range lts {
+		for j := i + 1; j < len(lts); j++ {
+			if !Compatible(lts[i], lts[j], ii) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildLifetimes derives one lifetime per flow dependence of the schedule.
+// Values that are never consumed produce no lifetime.
+func BuildLifetimes(s *sched.Schedule) []Lifetime {
+	var lts []Lifetime
+	for di, d := range s.Loop.Deps {
+		if d.Kind != ir.Flow {
+			continue
+		}
+		start := s.Time[d.From] + s.Loop.Ops[d.From].Kind.Latency()
+		if s.Cluster[d.From] != s.Cluster[d.To] {
+			start += s.Machine.CommLatency
+		}
+		end := s.Time[d.To] + s.II*d.Dist
+		lts = append(lts, Lifetime{Dep: d, DepIndex: di, Start: start, End: end})
+	}
+	return lts
+}
+
+// MaxOccupancy returns the largest number of values simultaneously resident
+// in a queue holding the given lifetimes, in pipeline steady state. A
+// lifetime of length L contributes ceil((L-r)/II) instances at phase
+// offset r from its start.
+func MaxOccupancy(lts []Lifetime, ii int) int {
+	max := 0
+	for phase := 0; phase < ii; phase++ {
+		n := 0
+		for _, lt := range lts {
+			r := ((phase-lt.Start)%ii + ii) % ii
+			if l := lt.Len() - r; l > 0 {
+				n += (l + ii - 1) / ii
+			}
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -1,0 +1,80 @@
+// Package regalloc computes the register requirements of a modulo schedule
+// under a conventional (random-access, multi-ported) register file. It is
+// the baseline the paper's queue register files are compared against: a
+// conventional RF needs one register per simultaneously live value
+// (MaxLive), but each value needs only a single write regardless of how
+// many operations consume it (paper Fig. 1b).
+package regalloc
+
+import (
+	"vliwq/internal/ir"
+	"vliwq/internal/sched"
+)
+
+// ValueLive is the live range of one produced value under a conventional
+// register file: written once at production, dead after its last read.
+type ValueLive struct {
+	Producer int // op ID
+	Start    int // write cycle (issue + latency)
+	End      int // last read cycle across all consumers
+}
+
+// Len returns the live-range length in cycles.
+func (v ValueLive) Len() int { return v.End - v.Start }
+
+// LiveRanges builds one live range per value produced and consumed in the
+// schedule. Unconsumed values yield no range.
+func LiveRanges(s *sched.Schedule) []ValueLive {
+	var out []ValueLive
+	for id, op := range s.Loop.Ops {
+		if !op.Kind.HasResult() {
+			continue
+		}
+		start := s.Time[id] + op.Kind.Latency()
+		end := -1
+		for _, d := range s.Loop.Deps {
+			if d.Kind != ir.Flow || d.From != id {
+				continue
+			}
+			if r := s.Time[d.To] + s.II*d.Dist; r > end {
+				r0 := r
+				if s.Cluster[d.From] != s.Cluster[d.To] {
+					r0 += 0 // conventional RF baseline has no clusters; kept for symmetry
+				}
+				end = r0
+			}
+		}
+		if end < 0 {
+			continue
+		}
+		out = append(out, ValueLive{Producer: id, Start: start, End: end})
+	}
+	return out
+}
+
+// MaxLive returns the maximum number of simultaneously live values in
+// pipeline steady state — the register count a conventional RF must
+// provide (Llosa et al.'s register requirement lower bound, exact for
+// non-blocking allocation).
+func MaxLive(s *sched.Schedule) int {
+	ranges := LiveRanges(s)
+	ii := s.II
+	max := 0
+	for phase := 0; phase < ii; phase++ {
+		n := 0
+		for _, v := range ranges {
+			r := ((phase-v.Start)%ii + ii) % ii
+			if l := v.Len() - r; l > 0 {
+				n += (l + ii - 1) / ii
+			} else if v.Len() == 0 && r == 0 {
+				// Zero-length values still need a register for their
+				// write cycle.
+				n++
+			}
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}

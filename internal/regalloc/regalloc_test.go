@@ -1,0 +1,96 @@
+package regalloc
+
+import (
+	"testing"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+	"vliwq/internal/queue"
+	"vliwq/internal/sched"
+)
+
+func schedule(t *testing.T, l *ir.Loop, cfg machine.Config) *sched.Schedule {
+	t.Helper()
+	s, err := sched.ScheduleLoop(l, cfg, sched.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", l.Name, err)
+	}
+	return s
+}
+
+func TestLiveRangesCoverConsumers(t *testing.T) {
+	s := schedule(t, corpus.Daxpy(), machine.SingleCluster(6))
+	ranges := LiveRanges(s)
+	// daxpy produces 5 values (3 loads, mul, add), all consumed.
+	if len(ranges) != 5 {
+		t.Fatalf("got %d live ranges, want 5", len(ranges))
+	}
+	for _, v := range ranges {
+		if v.End < v.Start {
+			t.Fatalf("negative live range %+v", v)
+		}
+	}
+}
+
+func TestMaxLivePositive(t *testing.T) {
+	for _, l := range corpus.Kernels() {
+		s := schedule(t, l, machine.SingleCluster(6))
+		if ml := MaxLive(s); ml < 1 {
+			t.Errorf("%s: MaxLive = %d", l.Name, ml)
+		}
+	}
+}
+
+// TestMaxLiveLowerBoundsLifetimeSum: MaxLive >= ceil(sum of live lengths /
+// II), the classic area lower bound.
+func TestMaxLiveLowerBoundsLifetimeSum(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 41, N: 50})
+	cfg := machine.SingleCluster(6)
+	for _, l := range loops {
+		s := schedule(t, l, cfg)
+		area := 0
+		for _, v := range LiveRanges(s) {
+			area += v.Len()
+		}
+		bound := area / s.II // floor is a valid lower bound
+		if ml := MaxLive(s); ml < bound {
+			t.Errorf("%s: MaxLive=%d below area bound %d", l.Name, ml, bound)
+		}
+	}
+}
+
+// TestConventionalVsQueueTradeOff documents the paper's Fig. 1 point: a
+// conventional RF writes a multi-consumer value once, while a QRF needs
+// one queue per remaining consumer — but the conventional RF pays with
+// multiported MaxLive-sized storage. Both measures must be internally
+// consistent on the same schedule.
+func TestConventionalVsQueueTradeOff(t *testing.T) {
+	l := corpus.ComplexMul() // fanout-2 values
+	s := schedule(t, l, machine.SingleCluster(6))
+	ml := MaxLive(s)
+	alloc := queue.Allocate(s)
+	queues := alloc.MaxPrivateQueues()
+	if ml < 1 || queues < 1 {
+		t.Fatalf("degenerate measures: MaxLive=%d queues=%d", ml, queues)
+	}
+	// Each of the 4 loaded values has 2 consumers: the queue allocation
+	// must hold at least one queue per simultaneous consumer pair beyond
+	// what MaxLive-style sharing would suggest.
+	if queues < 2 {
+		t.Fatalf("complexmul cannot fit %d queue(s)", queues)
+	}
+}
+
+func TestMaxLiveZeroLengthValues(t *testing.T) {
+	// A value read in its production cycle still needs a register for
+	// that cycle.
+	l := ir.New("tight")
+	a := l.AddOp(ir.KAdd, "a")
+	st := l.AddOp(ir.KStore, "st")
+	l.AddFlow(a, st)
+	s := schedule(t, l, machine.SingleCluster(6))
+	if ml := MaxLive(s); ml < 1 {
+		t.Fatalf("MaxLive = %d for a live value", ml)
+	}
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vliwq/internal/machine"
+)
+
+// Code generation: a modulo schedule describes only the kernel; the
+// executable loop consists of a prologue that fills the pipeline (stages
+// starting one iteration at a time), the steady-state kernel executed once
+// per remaining iteration, and an epilogue that drains the in-flight
+// iterations (paper §2: "the less efficient stages surrounding the kernel
+// execution"). EmitPipelined renders the complete program as VLIW
+// instruction words, one line per cycle, one slot per functional unit.
+//
+// The emitted text is the machine's instruction stream, not a simulation:
+// each slot holds `op[iter_offset]`, where iter_offset is the iteration
+// (relative to the word's first stage) the operation instance belongs to.
+
+// EmitPipelined writes the full software-pipelined program for the
+// schedule. The listing has (SC-1)*II prologue cycles, II kernel cycles
+// and (SC-1)*II epilogue cycles, where SC is the stage count.
+func EmitPipelined(w io.Writer, s *Schedule) error {
+	sc := s.StageCount()
+	ii := s.II
+
+	// slotName renders one operation instance in a word.
+	slotName := func(id, stageOfWord int) string {
+		op := s.Loop.Ops[id]
+		name := op.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", op.Kind, op.ID)
+		}
+		// The op issues in stage floor(S/II); an instruction word executed
+		// while the pipeline is at stage `stageOfWord` runs the instance
+		// of iteration (stageOfWord - opStage).
+		iter := stageOfWord - s.Time[id]/ii
+		if iter == 0 {
+			return fmt.Sprintf("%s[i]", name)
+		}
+		return fmt.Sprintf("%s[i%+d]", name, -iter)
+	}
+
+	// For each kernel row and cluster, the ops issuing there.
+	type slot struct{ id, stage int }
+	rows := make([][][]slot, ii)
+	for r := range rows {
+		rows[r] = make([][]slot, s.Machine.NumClusters())
+	}
+	for id := range s.Loop.Ops {
+		r := s.Time[id] % ii
+		rows[r][s.Cluster[id]] = append(rows[r][s.Cluster[id]],
+			slot{id, s.Time[id] / ii})
+	}
+
+	var b strings.Builder
+	writeWord := func(cycle, row, minStage, maxStage int) {
+		fmt.Fprintf(&b, "%4d:", cycle)
+		for c := 0; c < s.Machine.NumClusters(); c++ {
+			var ops []string
+			for _, sl := range rows[row][c] {
+				if sl.stage < minStage || sl.stage > maxStage {
+					continue // instance not active in this phase
+				}
+				ops = append(ops, slotName(sl.id, maxStage))
+			}
+			cell := strings.Join(ops, " ")
+			if cell == "" {
+				cell = "nop"
+			}
+			fmt.Fprintf(&b, "  | %-24s", cell)
+		}
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "; %s: II=%d stages=%d machine=%s\n", s.Loop.Name, ii, sc, s.Machine.Name)
+	fmt.Fprintf(&b, "; prologue (%d cycles)\n", (sc-1)*ii)
+	cycle := 0
+	// Prologue: pipeline fill. In fill step k (0-based), stages 0..k are
+	// active; the word at row r executes the ops of stages <= k.
+	for k := 0; k < sc-1; k++ {
+		for r := 0; r < ii; r++ {
+			writeWord(cycle, r, 0, k)
+			cycle++
+		}
+	}
+	fmt.Fprintf(&b, "; kernel (%d cycles, iterate %s times)\n", ii, "trip-(stages-1)")
+	for r := 0; r < ii; r++ {
+		writeWord(cycle, r, 0, sc-1)
+		cycle++
+	}
+	fmt.Fprintf(&b, "; epilogue (%d cycles)\n", (sc-1)*ii)
+	// Epilogue: pipeline drain. In drain step k, stages k+1..sc-1 remain.
+	for k := 0; k < sc-1; k++ {
+		for r := 0; r < ii; r++ {
+			writeWord(cycle, r, k+1, sc-1)
+			cycle++
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PipelinedLength returns the total cycle count of the emitted program
+// for n iterations of the body: prologue + kernel repetitions + epilogue.
+func PipelinedLength(s *Schedule, n int) int {
+	sc := s.StageCount()
+	if n < sc {
+		// Degenerate short trips fall back to sequential stage execution.
+		return n * s.Length()
+	}
+	return (n + sc - 1) * s.II
+}
+
+// CountSlots tallies the issue slots of the emitted kernel: used slots,
+// total slots, and the resulting utilization — the static IPC denominator
+// the paper's §4 discussion refers to.
+func CountSlots(s *Schedule) (used, total int, utilization float64) {
+	used = len(s.Loop.Ops)
+	fus := s.Machine.TotalFUs()
+	perCycle := 0
+	for _, n := range fus {
+		perCycle += n
+	}
+	total = perCycle * s.II
+	if total > 0 {
+		utilization = float64(used) / float64(total)
+	}
+	return used, total, utilization
+}
+
+// ClusterUtilization returns the fraction of each cluster's issue slots
+// used by the kernel, exposing partitioning balance.
+func ClusterUtilization(s *Schedule) []float64 {
+	out := make([]float64, s.Machine.NumClusters())
+	counts := make([]int, s.Machine.NumClusters())
+	for id := range s.Loop.Ops {
+		counts[s.Cluster[id]]++
+	}
+	for c := range out {
+		perCycle := 0
+		for class := machine.FUClass(0); class < machine.NumClasses; class++ {
+			perCycle += s.Machine.FUCount(c, class)
+		}
+		if perCycle > 0 {
+			out[c] = float64(counts[c]) / float64(perCycle*s.II)
+		}
+	}
+	return out
+}

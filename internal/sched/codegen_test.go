@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/machine"
+)
+
+func TestEmitPipelinedStructure(t *testing.T) {
+	s := mustSchedule(t, corpus.Daxpy(), machine.SingleCluster(6))
+	var b strings.Builder
+	if err := EmitPipelined(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	sc := s.StageCount()
+	wantCycles := (2*(sc-1) + 1) * s.II
+	lines := 0
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "|") {
+			lines++
+		}
+	}
+	if lines != wantCycles {
+		t.Fatalf("emitted %d instruction words, want %d\n%s", lines, wantCycles, out)
+	}
+	for _, frag := range []string{"; prologue", "; kernel", "; epilogue"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q section", frag)
+		}
+	}
+}
+
+// TestEmitPipelinedOpCount: across prologue+kernel+epilogue, every op must
+// appear exactly SC times (once per active stage combination), and the
+// kernel word must contain every op exactly once.
+func TestEmitPipelinedOpCount(t *testing.T) {
+	for _, l := range []string{"daxpy", "hydro", "wave2"} {
+		s := mustSchedule(t, corpus.KernelByName(l), machine.SingleCluster(6))
+		var b strings.Builder
+		if err := EmitPipelined(&b, s); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		sc := s.StageCount()
+		counts := map[string]int{}
+		for _, tok := range strings.Fields(out) {
+			if i := strings.IndexByte(tok, '['); i > 0 {
+				counts[tok[:i]]++
+			}
+		}
+		for _, op := range s.Loop.Ops {
+			if n := counts[op.Name]; n != sc {
+				t.Fatalf("%s: op %s appears %d times, want %d (stage count)\n%s",
+					l, op.Name, n, sc, out)
+			}
+		}
+	}
+}
+
+// TestEmitPipelinedKernelIterOffsets: in the kernel words every op carries
+// an iteration offset in (-SC, 0], and ops in stage 0 carry offset 0.
+func TestEmitPipelinedKernelIterOffsets(t *testing.T) {
+	s := mustSchedule(t, corpus.FIR5(), machine.SingleCluster(4))
+	var b strings.Builder
+	if err := EmitPipelined(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	kernelAt := strings.Index(out, "; kernel")
+	epiAt := strings.Index(out, "; epilogue")
+	kernel := out[kernelAt:epiAt]
+	if strings.Contains(kernel, "[i+") {
+		t.Fatalf("kernel references future iterations:\n%s", kernel)
+	}
+}
+
+func TestPipelinedLength(t *testing.T) {
+	s := mustSchedule(t, corpus.Daxpy(), machine.SingleCluster(6))
+	n := 100
+	want := (n + s.StageCount() - 1) * s.II
+	if got := PipelinedLength(s, n); got != want {
+		t.Fatalf("PipelinedLength = %d, want %d", got, want)
+	}
+	// Degenerate short trip: sequential bound.
+	if got := PipelinedLength(s, 1); got != s.Length() {
+		t.Fatalf("short-trip length = %d, want %d", got, s.Length())
+	}
+}
+
+func TestCountSlots(t *testing.T) {
+	s := mustSchedule(t, corpus.Hydro(), machine.SingleCluster(6))
+	used, total, util := CountSlots(s)
+	if used != len(s.Loop.Ops) {
+		t.Fatalf("used = %d", used)
+	}
+	if total < used || util <= 0 || util > 1 {
+		t.Fatalf("total=%d util=%f", total, util)
+	}
+}
+
+func TestClusterUtilizationBalance(t *testing.T) {
+	s := mustSchedule(t, corpus.Hydro(), machine.Clustered(4))
+	utils := ClusterUtilization(s)
+	if len(utils) != 4 {
+		t.Fatalf("got %d clusters", len(utils))
+	}
+	sum := 0.0
+	for _, u := range utils {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization out of range: %v", utils)
+		}
+		sum += u
+	}
+	if sum == 0 {
+		t.Fatal("no cluster does any work")
+	}
+}
+
+func TestCandidateIIs(t *testing.T) {
+	cs := candidateIIs(3, 100)
+	if cs[0] != 3 {
+		t.Fatalf("first candidate %d, want MII", cs[0])
+	}
+	for i := 1; i < 8 && i < len(cs); i++ {
+		if cs[i] != cs[i-1]+1 {
+			t.Fatalf("candidates not dense near MII: %v", cs[:8])
+		}
+	}
+	if cs[len(cs)-1] != 100 {
+		t.Fatalf("maxII missing: %v", cs)
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i] <= cs[i-1] {
+			t.Fatalf("candidates not increasing: %v", cs)
+		}
+	}
+	// Growth must be geometric-ish: far fewer than maxII-mii attempts.
+	if len(cs) > 40 {
+		t.Fatalf("too many candidates: %d", len(cs))
+	}
+	// Degenerate range.
+	if got := candidateIIs(5, 5); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("single-candidate range wrong: %v", got)
+	}
+}
+
+func TestMRTAddRemove(t *testing.T) {
+	cfg := machine.Clustered(2)
+	m := newMRT(3, &cfg)
+	if !m.free(0, 0, machine.ALU) {
+		t.Fatal("fresh MRT not free")
+	}
+	m.add(0, 0, machine.ALU, 7)
+	if m.free(0, 0, machine.ALU) {
+		t.Fatal("full cell reported free")
+	}
+	if occ := m.occupants(0, 0, machine.ALU); len(occ) != 1 || occ[0] != 7 {
+		t.Fatalf("occupants = %v", occ)
+	}
+	m.remove(0, 0, machine.ALU, 7)
+	if !m.free(0, 0, machine.ALU) {
+		t.Fatal("cell not freed")
+	}
+}
+
+func TestMRTPanicsOnOversubscription(t *testing.T) {
+	cfg := machine.Clustered(1)
+	m := newMRT(2, &cfg)
+	m.add(1, 0, machine.MUL, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversubscription")
+		}
+	}()
+	m.add(1, 0, machine.MUL, 2)
+}
+
+func TestFallbackLadderSchedulesHostileLoop(t *testing.T) {
+	// A loop engineered to defeat free partitioning: a hub consumed by
+	// chains that the neighbour-affinity heuristic wants to spread out.
+	l := corpus.Generate(corpus.Params{Seed: 77, N: 30})[0]
+	cfg := machine.Clustered(6)
+	s := mustSchedule(t, l, cfg) // must not fail thanks to the ladder
+	if s.II < s.MII() {
+		t.Fatal("II below MII")
+	}
+}

@@ -1,0 +1,420 @@
+package sched
+
+import (
+	"container/heap"
+	"sort"
+
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+)
+
+// state carries one scheduling run. A run makes several II attempts; each
+// attempt works on fresh per-op arrays. When the move extension grows the
+// loop, reset restores the pristine input for the next attempt.
+type state struct {
+	orig        *ir.Loop
+	loop        *ir.Loop
+	cfg         machine.Config
+	budgetRatio int
+
+	ii       int
+	time     []int // issue cycle, -1 = unscheduled
+	cluster  []int
+	prevTime []int // last forced placement, for Rau's progress rule
+	never    []bool
+	pinned   []int // fixed cluster for inserted moves, -1 otherwise
+	height   []int
+	preds    [][]ir.Dep
+	succs    [][]ir.Dep
+	table    *mrt
+	load     []int // cached per-cluster reservation counts
+	allowed  []int // compact-mode cluster subset (nil = free placement)
+
+	stats Stats
+}
+
+func newState(l *ir.Loop, cfg machine.Config, budgetRatio int) *state {
+	st := &state{orig: l, cfg: cfg, budgetRatio: budgetRatio}
+	st.reset()
+	return st
+}
+
+// reset prepares a fresh attempt on the pristine input loop.
+func (st *state) reset() {
+	st.allowed = nil
+	st.loop = st.orig.Clone()
+	n := len(st.loop.Ops)
+	st.time = fillInt(n, -1)
+	st.cluster = fillInt(n, -1)
+	st.prevTime = fillInt(n, -1)
+	st.pinned = fillInt(n, -1)
+	st.never = make([]bool, n)
+	for i := range st.never {
+		st.never[i] = true
+	}
+	st.preds = st.loop.Preds()
+	st.succs = st.loop.Succs()
+}
+
+func fillInt(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// tryII attempts to schedule every operation at the given II within the
+// budget. It returns true on success, leaving the placement in st.time and
+// st.cluster. Later attempts get a progressively larger budget: when the
+// first IIs fail because of partitioning conflicts, raw persistence at a
+// slightly larger II is usually what finds the schedule.
+func (st *state) tryII(ii int) bool {
+	st.ii = ii
+	st.table = newMRT(ii, &st.cfg)
+	st.load = make([]int, st.cfg.NumClusters())
+	st.computeHeights()
+
+	wl := &worklist{st: st}
+	heap.Init(wl)
+	for id := range st.loop.Ops {
+		wl.push(id)
+	}
+	mult := st.stats.Attempts
+	if mult < 1 {
+		mult = 1
+	}
+	if mult > 4 {
+		mult = 4
+	}
+	budget := st.budgetRatio * len(st.loop.Ops) * mult
+	for wl.Len() > 0 {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		id := wl.pop()
+		st.stats.Placements++
+		estart := st.earliestStart(id)
+		t, c, ok := st.findSlot(id, estart)
+		if !ok {
+			t, c = st.forceSlot(id, estart, wl)
+		}
+		st.place(id, t, c)
+		budget += st.settle(id, wl) * st.budgetRatio
+	}
+	return true
+}
+
+// earliestStart returns the earliest issue cycle permitted by the scheduled
+// predecessors of id (ignoring communication latency, which is checked per
+// candidate cluster in feasible).
+func (st *state) earliestStart(id int) int {
+	estart := 0
+	for _, d := range st.preds[id] {
+		if tf := st.time[d.From]; tf >= 0 {
+			if e := tf + st.loop.Ops[d.From].Kind.Latency() - st.ii*d.Dist; e > estart {
+				estart = e
+			}
+		}
+	}
+	return estart
+}
+
+// findSlot searches the II-wide window from estart for a (time, cluster)
+// placement that satisfies resources, scheduled-predecessor timing
+// (including communication latency) and the ring adjacency rule. When the
+// machine allows moves, a second pass accepts non-adjacent clusters (moves
+// are inserted later by settle).
+func (st *state) findSlot(id, estart int) (int, int, bool) {
+	prefs := st.clusterPrefs(id)
+	passes := 1
+	if st.cfg.AllowMoves && st.pinned[id] < 0 {
+		passes = 2
+	}
+	for pass := 0; pass < passes; pass++ {
+		requireAdj := pass == 0
+		for t := estart; t < estart+st.ii; t++ {
+			for _, c := range prefs {
+				if st.feasible(id, t, c, requireAdj) {
+					return t, c, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// feasible reports whether op id can issue at cycle t on cluster c.
+func (st *state) feasible(id, t, c int, requireAdj bool) bool {
+	if p := st.pinned[id]; p >= 0 && c != p {
+		return false
+	}
+	op := st.loop.Ops[id]
+	if !st.table.free(t%st.ii, c, machine.ClassOf(op.Kind)) {
+		return false
+	}
+	for _, d := range st.preds[id] {
+		tf := st.time[d.From]
+		if tf < 0 {
+			continue
+		}
+		lat := st.loop.Ops[d.From].Kind.Latency()
+		if d.Kind == ir.Flow && st.cluster[d.From] != c {
+			lat += st.cfg.CommLatency
+		}
+		if t+st.ii*d.Dist < tf+lat {
+			return false
+		}
+	}
+	if requireAdj {
+		for _, d := range st.preds[id] {
+			if d.Kind == ir.Flow && st.time[d.From] >= 0 && !st.cfg.Adjacent(st.cluster[d.From], c) {
+				return false
+			}
+		}
+		for _, d := range st.succs[id] {
+			if d.Kind == ir.Flow && st.time[d.To] >= 0 && !st.cfg.Adjacent(c, st.cluster[d.To]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// clusterPrefs orders the clusters for slot search: clusters holding more
+// already-scheduled flow neighbours first, then lighter MRT load, then
+// index. Clusters without an FU of the op's class are excluded.
+func (st *state) clusterPrefs(id int) []int {
+	class := machine.ClassOf(st.loop.Ops[id].Kind)
+	if st.allowed != nil {
+		// Compact fallback mode: placement restricted to a mutually
+		// adjacent cluster subset, making the ring rule trivial. If the
+		// subset lacks the class entirely, fall back to the lowest
+		// cluster providing it.
+		var out []int
+		for _, c := range st.allowed {
+			if st.cfg.FUCount(c, class) > 0 {
+				out = append(out, c)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+		for c := 0; c < st.cfg.NumClusters(); c++ {
+			if st.cfg.FUCount(c, class) > 0 {
+				return []int{c}
+			}
+		}
+		return nil
+	}
+	type pref struct{ c, neigh, load int }
+	var prefs []pref
+	for c := 0; c < st.cfg.NumClusters(); c++ {
+		if st.cfg.FUCount(c, class) == 0 {
+			continue
+		}
+		p := pref{c: c, load: st.load[c]}
+		for _, d := range st.preds[id] {
+			if d.Kind == ir.Flow && st.time[d.From] >= 0 && st.cluster[d.From] == c {
+				p.neigh++
+			}
+		}
+		for _, d := range st.succs[id] {
+			if d.Kind == ir.Flow && st.time[d.To] >= 0 && st.cluster[d.To] == c {
+				p.neigh++
+			}
+		}
+		prefs = append(prefs, p)
+	}
+	sort.Slice(prefs, func(i, j int) bool {
+		if prefs[i].neigh != prefs[j].neigh {
+			return prefs[i].neigh > prefs[j].neigh
+		}
+		if prefs[i].load != prefs[j].load {
+			return prefs[i].load < prefs[j].load
+		}
+		return prefs[i].c < prefs[j].c
+	})
+	out := make([]int, len(prefs))
+	for i, p := range prefs {
+		out[i] = p.c
+	}
+	return out
+}
+
+// forceSlot is Rau's conflict-driven placement: when no conflict-free slot
+// exists in the window, place anyway — at estart for never-scheduled ops,
+// otherwise strictly later than the previous placement to guarantee
+// progress — and evict whatever stands in the way.
+func (st *state) forceSlot(id, estart int, wl *worklist) (int, int) {
+	t := estart
+	if !st.never[id] && st.prevTime[id]+1 > t {
+		t = st.prevTime[id] + 1
+	}
+	prefs := st.clusterPrefs(id)
+	if p := st.pinned[id]; p >= 0 {
+		prefs = []int{p}
+	}
+	// Prefer a cluster with a free unit at this row; otherwise evict the
+	// lowest-priority occupant of the first preference.
+	class := machine.ClassOf(st.loop.Ops[id].Kind)
+	for _, c := range prefs {
+		if st.table.free(t%st.ii, c, class) {
+			return t, c
+		}
+	}
+	c := prefs[0]
+	occ := st.table.occupants(t%st.ii, c, class)
+	victim := occ[0]
+	for _, o := range occ {
+		if st.height[o] < st.height[victim] {
+			victim = o
+		}
+	}
+	st.evict(victim, wl)
+	return t, c
+}
+
+// place commits op id to (t, c) in the reservation table.
+func (st *state) place(id, t, c int) {
+	st.time[id] = t
+	st.cluster[id] = c
+	st.prevTime[id] = t
+	st.never[id] = false
+	st.table.add(t%st.ii, c, machine.ClassOf(st.loop.Ops[id].Kind), id)
+	st.load[c]++
+}
+
+// evict unschedules op id and requeues it.
+func (st *state) evict(id int, wl *worklist) {
+	if st.time[id] < 0 {
+		return
+	}
+	st.table.remove(st.time[id]%st.ii, st.cluster[id], machine.ClassOf(st.loop.Ops[id].Kind), id)
+	st.load[st.cluster[id]]--
+	st.time[id] = -1
+	st.cluster[id] = -1
+	st.stats.Evictions++
+	wl.push(id)
+}
+
+// settle resolves the consequences of placing op id: it evicts scheduled
+// neighbours whose dependence constraints the new placement violates and —
+// when moves are allowed — replaces non-adjacent flow dependences with
+// chains of pinned move operations. It returns the number of operations
+// added to the loop (so the caller can extend the budget).
+func (st *state) settle(id int, wl *worklist) int {
+	t, c := st.time[id], st.cluster[id]
+	lat := st.loop.Ops[id].Kind.Latency()
+	// Dependence-violated successors are evicted (they will be rescheduled
+	// later at a feasible time).
+	for _, d := range st.succs[id] {
+		ts := st.time[d.To]
+		if ts < 0 {
+			continue
+		}
+		l := lat
+		if d.Kind == ir.Flow && st.cluster[d.To] != c {
+			l += st.cfg.CommLatency
+		}
+		if ts+st.ii*d.Dist < t+l {
+			st.evict(d.To, wl)
+		}
+	}
+	// Predecessors can only be violated through communication latency
+	// (earliestStart covered the base latency).
+	if st.cfg.CommLatency > 0 {
+		for _, d := range st.preds[id] {
+			tf := st.time[d.From]
+			if tf < 0 || d.Kind != ir.Flow || st.cluster[d.From] == c {
+				continue
+			}
+			if t+st.ii*d.Dist < tf+st.loop.Ops[d.From].Kind.Latency()+st.cfg.CommLatency {
+				st.evict(d.From, wl)
+			}
+		}
+	}
+	// Ring adjacency.
+	added := 0
+	for _, deps := range [2][][]ir.Dep{st.preds, st.succs} {
+		for _, d := range deps[id] {
+			if d.Kind != ir.Flow {
+				continue
+			}
+			other := d.From + d.To - id // the other endpoint
+			if st.time[other] < 0 || st.cfg.Adjacent(st.cluster[d.From], st.cluster[d.To]) {
+				continue
+			}
+			if st.cfg.AllowMoves {
+				added += st.insertMoveChain(d, wl)
+			} else {
+				st.evict(other, wl)
+			}
+		}
+	}
+	return added
+}
+
+// computeHeights computes Rau's height-based priority: the length of the
+// longest latency path from the issue of each op to the end of the
+// iteration, with loop-carried edges discounted by II*distance. With
+// II >= RecMII there is no positive cycle, so the fixpoint converges within
+// numOps passes.
+func (st *state) computeHeights() {
+	n := len(st.loop.Ops)
+	h := make([]int, n)
+	for id, op := range st.loop.Ops {
+		h[id] = op.Kind.Latency()
+	}
+	for iter := 0; iter < n+1; iter++ {
+		changed := false
+		for _, d := range st.loop.Deps {
+			lat := st.loop.Ops[d.From].Kind.Latency()
+			if v := h[d.To] + lat - st.ii*d.Dist; v > h[d.From] {
+				h[d.From] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	st.height = h
+}
+
+// worklist is a max-heap of unscheduled op IDs ordered by height (ties by
+// lower ID for determinism). Membership is tracked so an op is never queued
+// twice.
+type worklist struct {
+	st  *state
+	ids []int
+	in  map[int]bool
+}
+
+func (w *worklist) Len() int { return len(w.ids) }
+func (w *worklist) Less(i, j int) bool {
+	hi, hj := w.st.height[w.ids[i]], w.st.height[w.ids[j]]
+	if hi != hj {
+		return hi > hj
+	}
+	return w.ids[i] < w.ids[j]
+}
+func (w *worklist) Swap(i, j int) { w.ids[i], w.ids[j] = w.ids[j], w.ids[i] }
+func (w *worklist) Push(x any)    { w.ids = append(w.ids, x.(int)) }
+func (w *worklist) Pop() any      { x := w.ids[len(w.ids)-1]; w.ids = w.ids[:len(w.ids)-1]; return x }
+func (w *worklist) push(id int) {
+	if w.in == nil {
+		w.in = map[int]bool{}
+	}
+	if w.in[id] {
+		return
+	}
+	w.in[id] = true
+	heap.Push(w, id)
+}
+func (w *worklist) pop() int {
+	id := heap.Pop(w).(int)
+	delete(w.in, id)
+	return id
+}

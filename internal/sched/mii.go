@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"fmt"
+
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+)
+
+// ResMII returns the resource-constrained lower bound on the initiation
+// interval: for each FU class, the ceiling of (operations in the class) over
+// (machine-wide units of the class). An error is returned when the loop
+// uses a class the machine lacks entirely.
+func ResMII(l *ir.Loop, cfg machine.Config) (int, error) {
+	var ops [machine.NumClasses]int
+	for _, op := range l.Ops {
+		ops[machine.ClassOf(op.Kind)]++
+	}
+	fus := cfg.TotalFUs()
+	mii := 1
+	for c := machine.FUClass(0); c < machine.NumClasses; c++ {
+		if ops[c] == 0 {
+			continue
+		}
+		if fus[c] == 0 {
+			return 0, fmt.Errorf("%w: %v (loop %q, machine %q)", ErrNoFU, c, l.Name, cfg.Name)
+		}
+		if b := (ops[c] + fus[c] - 1) / fus[c]; b > mii {
+			mii = b
+		}
+	}
+	return mii, nil
+}
+
+// resMIISubset computes ResMII using only the FUs of the given cluster
+// subset (the compact fallback's resource bound).
+func resMIISubset(l *ir.Loop, cfg machine.Config, clusters []int) (int, error) {
+	var ops [machine.NumClasses]int
+	for _, op := range l.Ops {
+		ops[machine.ClassOf(op.Kind)]++
+	}
+	var fus [machine.NumClasses]int
+	for _, c := range clusters {
+		if c >= cfg.NumClusters() {
+			continue
+		}
+		for i, n := range cfg.Clusters[c].FUs {
+			fus[i] += n
+		}
+	}
+	mii := 1
+	for c := machine.FUClass(0); c < machine.NumClasses; c++ {
+		if ops[c] == 0 {
+			continue
+		}
+		if fus[c] == 0 {
+			// The subset lacks the class; clusterPrefs escapes the subset
+			// for those ops, so approximate with one machine-wide unit.
+			total := cfg.TotalFUs()
+			if total[c] == 0 {
+				return 0, fmt.Errorf("%w: %v", ErrNoFU, c)
+			}
+			if ops[c] > mii {
+				mii = ops[c]
+			}
+			continue
+		}
+		if b := (ops[c] + fus[c] - 1) / fus[c]; b > mii {
+			mii = b
+		}
+	}
+	return mii, nil
+}
+
+// RecMII returns the recurrence-constrained lower bound on the initiation
+// interval: the smallest II such that the dependence graph with edge
+// weights latency(from) - II*distance contains no positive-weight cycle.
+// Equivalently, max over elementary circuits of
+// ceil(total latency / total distance). Loops without dependence cycles
+// have RecMII 1.
+func RecMII(l *ir.Loop) int {
+	// Positive-cycle existence is monotonically non-increasing in II, so
+	// binary-search the smallest II free of positive cycles.
+	lo, hi := 1, l.SumLatency()
+	if hi < 1 {
+		hi = 1
+	}
+	if !hasPositiveCycle(l, hi) {
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if hasPositiveCycle(l, mid) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+	} else {
+		// Cannot happen for validated loops (II = sum of latencies always
+		// breaks every circuit since each circuit has distance >= 1), but
+		// degrade gracefully.
+		lo = hi + 1
+	}
+	return lo
+}
+
+// hasPositiveCycle reports whether the dependence graph has a cycle of
+// positive total weight with edge weight latency(from) - II*dist
+// (Bellman-Ford longest-path relaxation from a virtual source).
+func hasPositiveCycle(l *ir.Loop, ii int) bool {
+	n := len(l.Ops)
+	dist := make([]int, n) // virtual source connects to all with weight 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, d := range l.Deps {
+			w := l.Ops[d.From].Kind.Latency() - ii*d.Dist
+			if nd := dist[d.From] + w; nd > dist[d.To] {
+				dist[d.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	// Still relaxing after n passes: positive cycle.
+	for _, d := range l.Deps {
+		w := l.Ops[d.From].Kind.Latency() - ii*d.Dist
+		if dist[d.From]+w > dist[d.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// RecMIIBrute computes RecMII by enumerating all elementary circuits (DFS
+// with a bounded path length). It is exponential and exists only so tests
+// can validate RecMII on small graphs.
+func RecMIIBrute(l *ir.Loop, maxLen int) int {
+	n := len(l.Ops)
+	succ := l.Succs()
+	best := 1
+	var path []ir.Dep
+	onPath := make([]bool, n)
+	var dfs func(start, cur int)
+	dfs = func(start, cur int) {
+		if len(path) > maxLen {
+			return
+		}
+		for _, d := range succ[cur] {
+			if d.To == start && len(path) >= 0 {
+				lat, dist := 0, 0
+				for _, e := range path {
+					lat += l.Ops[e.From].Kind.Latency()
+					dist += e.Dist
+				}
+				lat += l.Ops[d.From].Kind.Latency()
+				dist += d.Dist
+				if dist > 0 {
+					if b := (lat + dist - 1) / dist; b > best {
+						best = b
+					}
+				}
+				continue
+			}
+			if d.To < start || onPath[d.To] {
+				// Enumerate each circuit once: only visit nodes >= start.
+				continue
+			}
+			onPath[d.To] = true
+			path = append(path, d)
+			dfs(start, d.To)
+			path = path[:len(path)-1]
+			onPath[d.To] = false
+		}
+	}
+	for s := 0; s < n; s++ {
+		onPath[s] = true
+		dfs(s, s)
+		onPath[s] = false
+	}
+	return best
+}

@@ -1,0 +1,58 @@
+package sched
+
+import "vliwq/internal/machine"
+
+// mrt is the modulo reservation table: for each of the II rows, each
+// cluster, and each FU class, the IDs of the operations issuing there.
+// Every operation reserves its functional unit for exactly one cycle at its
+// issue time (unit-latency reservation, as in the paper's model).
+type mrt struct {
+	ii   int
+	cfg  *machine.Config
+	rows []cell // len ii * numClusters, row-major
+}
+
+type cell [machine.NumClasses][]int
+
+func newMRT(ii int, cfg *machine.Config) *mrt {
+	return &mrt{ii: ii, cfg: cfg, rows: make([]cell, ii*cfg.NumClusters())}
+}
+
+func (m *mrt) at(row, cluster int) *cell {
+	return &m.rows[row*m.cfg.NumClusters()+cluster]
+}
+
+// free reports whether an FU of the given class is available in the cluster
+// at the given row.
+func (m *mrt) free(row, cluster int, class machine.FUClass) bool {
+	return len(m.at(row, cluster)[class]) < m.cfg.FUCount(cluster, class)
+}
+
+// add reserves one unit; callers must have checked free (or intend to
+// oversubscribe temporarily before evicting, which is forbidden here:
+// add panics on oversubscription to catch scheduler bugs early).
+func (m *mrt) add(row, cluster int, class machine.FUClass, opID int) {
+	c := m.at(row, cluster)
+	if len(c[class]) >= m.cfg.FUCount(cluster, class) {
+		panic("sched: MRT oversubscription")
+	}
+	c[class] = append(c[class], opID)
+}
+
+// remove releases the reservation of opID; it panics if absent.
+func (m *mrt) remove(row, cluster int, class machine.FUClass, opID int) {
+	c := m.at(row, cluster)
+	s := c[class]
+	for i, id := range s {
+		if id == opID {
+			c[class] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+	panic("sched: MRT remove of absent op")
+}
+
+// occupants returns the ops occupying (row, cluster, class).
+func (m *mrt) occupants(row, cluster int, class machine.FUClass) []int {
+	return m.at(row, cluster)[class]
+}

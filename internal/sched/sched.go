@@ -1,0 +1,282 @@
+// Package sched implements Rau's Iterative Modulo Scheduling (IMS) and the
+// paper's partitioned variant for clustered VLIW machines.
+//
+// The single-cluster scheduler is the classic algorithm: compute the minimum
+// initiation interval MII = max(ResMII, RecMII), then for each candidate II
+// try to place all operations with a budgeted, height-priority-driven
+// iterative search that may evict (unschedule) conflicting operations.
+//
+// The partitioned scheduler extends slot search with a cluster dimension and
+// the paper's communication rule: a value may only flow between operations
+// on the same or ring-adjacent clusters. When no adjacent placement exists,
+// conflicting neighbours are evicted and rescheduled (the paper's
+// "backtracking"); if the budget runs out the II is increased — exactly the
+// degradation Fig. 6 measures. With Config.AllowMoves the paper's proposed
+// future extension is enabled: chains of move operations on COPY units carry
+// values between non-adjacent clusters instead of forcing an eviction.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+)
+
+// Schedule is a modulo schedule: an initiation interval plus, for every
+// operation, a start cycle and a cluster assignment.
+//
+// When the scheduler inserts move operations (AllowMoves) the Loop field
+// points at the transformed copy of the input loop; downstream passes
+// (queue allocation, simulation) must use it rather than the original.
+type Schedule struct {
+	Loop    *ir.Loop
+	Machine machine.Config
+	II      int
+	Time    []int // start cycle per op ID (>= 0)
+	Cluster []int // cluster per op ID
+
+	// Lower bounds computed before scheduling.
+	ResMII int
+	RecMII int
+
+	Stats Stats
+}
+
+// MII returns max(ResMII, RecMII), the lower bound on the achieved II.
+func (s *Schedule) MII() int {
+	if s.ResMII > s.RecMII {
+		return s.ResMII
+	}
+	return s.RecMII
+}
+
+// Length returns the number of cycles from the start of the first operation
+// to the completion of the last, for a single iteration.
+func (s *Schedule) Length() int {
+	max := 0
+	for id, op := range s.Loop.Ops {
+		if end := s.Time[id] + op.Kind.Latency(); end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// StageCount returns the number of kernel stages: the number of iterations
+// simultaneously in flight at full pipeline (paper §2).
+func (s *Schedule) StageCount() int {
+	maxStart := 0
+	for _, t := range s.Time {
+		if t > maxStart {
+			maxStart = t
+		}
+	}
+	return maxStart/s.II + 1
+}
+
+// Stats records how hard the scheduler had to work.
+type Stats struct {
+	Attempts      int // number of candidate IIs tried
+	Placements    int // total operation placements across attempts
+	Evictions     int // operations unscheduled to resolve conflicts
+	MovesInserted int // move operations added (AllowMoves only)
+}
+
+// Options control the scheduler's effort.
+type Options struct {
+	// MaxII caps the search; 0 derives a safe default that always admits a
+	// fully sequential schedule.
+	MaxII int
+	// BudgetRatio bounds placements per II attempt at BudgetRatio*numOps
+	// (Rau's budget); 0 means DefaultBudgetRatio.
+	BudgetRatio int
+}
+
+// DefaultBudgetRatio is Rau's recommended scheduling budget multiplier.
+const DefaultBudgetRatio = 6
+
+func (o Options) budgetRatio() int {
+	if o.BudgetRatio > 0 {
+		return o.BudgetRatio
+	}
+	return DefaultBudgetRatio
+}
+
+func (o Options) maxII(l *ir.Loop, mii int) int {
+	if o.MaxII > 0 {
+		return o.MaxII
+	}
+	m := l.SumLatency() + len(l.Ops)
+	if mii > m {
+		m = mii
+	}
+	return m + 8
+}
+
+// candidateIIs enumerates the IIs to attempt: every value near MII (where
+// the interesting results live), then geometrically growing steps, and
+// finally maxII itself, where a near-sequential schedule always exists.
+// This keeps pathological partitioning cases from burning thousands of
+// attempts while preserving Rau's II-minimality behaviour in practice.
+func candidateIIs(mii, maxII int) []int {
+	var out []int
+	ii := mii
+	for ii <= maxII {
+		out = append(out, ii)
+		if len(out) < 8 {
+			ii++
+		} else {
+			ii += ii/4 + 1
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != maxII {
+		out = append(out, maxII)
+	}
+	return out
+}
+
+// Errors returned by the scheduler.
+var (
+	// ErrNoFU indicates the machine lacks a functional unit class that the
+	// loop needs (e.g. a copy operation on a machine without COPY units).
+	ErrNoFU = errors.New("sched: loop needs an FU class the machine does not have")
+	// ErrNoSchedule indicates no schedule was found up to MaxII.
+	ErrNoSchedule = errors.New("sched: no schedule found within II and budget limits")
+)
+
+// ScheduleLoop modulo-schedules the loop on the given machine. It works for
+// both single-cluster and clustered configurations; for the latter it runs
+// the paper's partitioned IMS.
+func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	resMII, err := ResMII(l, cfg)
+	if err != nil {
+		return nil, err
+	}
+	recMII := RecMII(l)
+	mii := resMII
+	if recMII > mii {
+		mii = recMII
+	}
+	maxII := opts.maxII(l, mii)
+
+	st := newState(l, cfg, opts.budgetRatio())
+	finish := func(ii int) *Schedule {
+		return &Schedule{
+			Loop:    st.loop,
+			Machine: cfg,
+			II:      ii,
+			Time:    st.time,
+			Cluster: st.cluster,
+			ResMII:  resMII,
+			RecMII:  recMII,
+			Stats:   st.stats,
+		}
+	}
+	for _, ii := range candidateIIs(mii, maxII) {
+		st.stats.Attempts++
+		if st.tryII(ii) {
+			return finish(ii), nil
+		}
+		st.reset()
+	}
+	// Compact fallbacks, for the rare loops whose communication structure
+	// defeats the free partitioner at every candidate II (typically an
+	// operation whose neighbours settle on mutually distant clusters and
+	// evict each other until the budget runs out). Restricting placement
+	// to a mutually adjacent cluster subset makes the ring rule vacuous at
+	// the price of fewer FUs: first an adjacent pair, then one cluster —
+	// at maxII the single-cluster attempt cannot fail, so every valid
+	// loop schedules on every valid machine. The II cost shows up
+	// honestly in the experiment statistics.
+	if cfg.NumClusters() > 1 {
+		subsets := [][]int{{0, 1}, {0}}
+		for _, allowed := range subsets {
+			sub, err := resMIISubset(st.orig, cfg, allowed)
+			if err != nil {
+				continue
+			}
+			if sub < mii {
+				sub = mii
+			}
+			for _, ii := range candidateIIs(sub, maxII) {
+				st.stats.Attempts++
+				st.allowed = allowed
+				if st.tryII(ii) {
+					return finish(ii), nil
+				}
+				st.reset()
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %q on %s (MII=%d, maxII=%d)", ErrNoSchedule, l.Name, cfg.Name, mii, maxII)
+}
+
+// Verify checks that the schedule satisfies every dependence, every
+// resource constraint and the cluster communication rule. It is used by
+// tests and by cmd tools; a correct scheduler never produces a schedule
+// that fails Verify.
+func (s *Schedule) Verify() error {
+	l := s.Loop
+	if len(s.Time) != len(l.Ops) || len(s.Cluster) != len(l.Ops) {
+		return fmt.Errorf("sched: schedule arrays do not match loop size")
+	}
+	for id, op := range l.Ops {
+		if s.Time[id] < 0 {
+			return fmt.Errorf("sched: %v is unscheduled", op)
+		}
+		if c := s.Cluster[id]; c < 0 || c >= s.Machine.NumClusters() {
+			return fmt.Errorf("sched: %v has invalid cluster %d", op, c)
+		}
+	}
+	// Dependences: S(to) + II*dist >= S(from) + latency(from) (+ comm).
+	for _, d := range l.Deps {
+		lat := l.Ops[d.From].Kind.Latency()
+		if d.Kind == ir.Flow {
+			lat += s.commLat(d)
+		}
+		slack := s.Time[d.To] + s.II*d.Dist - (s.Time[d.From] + lat)
+		if slack < 0 {
+			return fmt.Errorf("sched: dependence violated: %v (slack %d)", d, slack)
+		}
+	}
+	// Resources: at most FUs[class] issues per (cluster, class, row).
+	type key struct {
+		row, cluster int
+		class        machine.FUClass
+	}
+	used := map[key]int{}
+	for id, op := range l.Ops {
+		k := key{s.Time[id] % s.II, s.Cluster[id], machine.ClassOf(op.Kind)}
+		used[k]++
+		if used[k] > s.Machine.FUCount(k.cluster, k.class) {
+			return fmt.Errorf("sched: row %d cluster %d oversubscribes %v", k.row, k.cluster, k.class)
+		}
+	}
+	// Communication: flow dependences only between adjacent clusters.
+	for _, d := range l.Deps {
+		if d.Kind != ir.Flow {
+			continue
+		}
+		if !s.Machine.Adjacent(s.Cluster[d.From], s.Cluster[d.To]) {
+			return fmt.Errorf("sched: flow dep %v spans non-adjacent clusters %d and %d",
+				d, s.Cluster[d.From], s.Cluster[d.To])
+		}
+	}
+	return nil
+}
+
+// commLat returns the extra communication latency of a flow dependence.
+func (s *Schedule) commLat(d ir.Dep) int {
+	if s.Cluster[d.From] != s.Cluster[d.To] {
+		return s.Machine.CommLatency
+	}
+	return 0
+}

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+)
+
+func mustSchedule(t *testing.T, l *ir.Loop, cfg machine.Config) *Schedule {
+	t.Helper()
+	s, err := ScheduleLoop(l, cfg, Options{})
+	if err != nil {
+		t.Fatalf("schedule %s on %s: %v", l.Name, cfg.Name, err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("verify %s: %v", l.Name, err)
+	}
+	return s
+}
+
+func TestResMII(t *testing.T) {
+	cfg := machine.SingleCluster(4) // 1 L/S, 2 ADD, 1 MUL (+2 COPY)
+	cases := []struct {
+		name string
+		loop *ir.Loop
+		want int
+	}{
+		{"daxpy", corpus.Daxpy(), 4},       // 4 L/S ops (3 loads + 1 store) vs 1 L/S unit
+		{"stencil3", corpus.Stencil3(), 5}, // 5 L/S ops
+		{"ddot", corpus.Ddot(), 3},         // 3 L/S ops
+	}
+	for _, c := range cases {
+		got, err := ResMII(c.loop, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: ResMII = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestResMIIMissingClass(t *testing.T) {
+	l := ir.New("copyonly")
+	a := l.AddOp(ir.KLoad, "a")
+	c := l.AddOp(ir.KCopy, "c")
+	l.AddFlow(a, c)
+	st := l.AddOp(ir.KStore, "s")
+	l.AddFlow(c, st)
+	cfg := machine.Config{
+		Name:     "nocopy",
+		Clusters: []machine.Cluster{{FUs: [machine.NumClasses]int{machine.LS: 1, machine.ALU: 1, machine.MUL: 1}}},
+	}
+	if _, err := ResMII(l, cfg); !errors.Is(err, ErrNoFU) {
+		t.Fatalf("expected ErrNoFU, got %v", err)
+	}
+}
+
+func TestRecMIIKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		loop *ir.Loop
+		want int
+	}{
+		{"daxpy-no-recurrence", corpus.Daxpy(), 1},
+		// ddot: acc -> acc circuit, latency 1, distance 1.
+		{"ddot", corpus.Ddot(), 1},
+		// horner: mul(2) -> add(1) -> mul, distance 1: ceil(3/1) = 3.
+		{"horner", corpus.Horner(), 3},
+		// divnorm: add(1) -> div(8) -> add, distance 1: 9.
+		{"divnorm", corpus.DivNorm(), 9},
+		// tridiag: add(1) -> mul(2) -> add, distance 1: 3.
+		{"tridiag", corpus.Tridiag(), 3},
+		// wave2 circuits: u->twice->diff->u lat 1+2+1 dist 1 => 4;
+		// u->diff->u lat 1+1 dist 2 => 1.
+		{"wave2", corpus.Wave2(), 4},
+	}
+	for _, c := range cases {
+		if got := RecMII(c.loop); got != c.want {
+			t.Errorf("%s: RecMII = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRecMIIMatchesBruteForce cross-validates the Bellman-Ford RecMII
+// against exhaustive circuit enumeration on the synthetic corpus.
+func TestRecMIIMatchesBruteForce(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 11, N: 80, MaxOps: 14, MeanLogOps: 1.8})
+	for _, l := range loops {
+		fast := RecMII(l)
+		brute := RecMIIBrute(l, 14)
+		if fast != brute {
+			t.Errorf("%s: RecMII=%d brute=%d", l.Name, fast, brute)
+		}
+	}
+}
+
+func TestScheduleAchievesMIIOnSimpleLoops(t *testing.T) {
+	// Resource-rich machine: simple dependence chains schedule at MII.
+	cfg := machine.SingleCluster(12)
+	for _, l := range []*ir.Loop{corpus.Daxpy(), corpus.Stencil3(), corpus.Hydro(), corpus.FIR5()} {
+		s := mustSchedule(t, l, cfg)
+		if s.II != s.MII() {
+			t.Errorf("%s: II=%d > MII=%d on a wide machine", l.Name, s.II, s.MII())
+		}
+	}
+}
+
+func TestScheduleRespectsRecurrences(t *testing.T) {
+	cfg := machine.SingleCluster(12)
+	for _, l := range []*ir.Loop{corpus.Horner(), corpus.DivNorm(), corpus.Wave2(), corpus.PrefixSum()} {
+		s := mustSchedule(t, l, cfg)
+		if s.II < s.RecMII {
+			t.Errorf("%s: II=%d below RecMII=%d", l.Name, s.II, s.RecMII)
+		}
+	}
+}
+
+// TestSchedulePropertyCorpus: every scheduled corpus loop satisfies all
+// dependences and resource limits (Verify), on narrow and wide machines.
+func TestSchedulePropertyCorpus(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 5, N: 120})
+	for _, cfg := range []machine.Config{
+		machine.SingleCluster(4),
+		machine.SingleCluster(6),
+		machine.SingleCluster(12),
+	} {
+		for _, l := range loops {
+			s := mustSchedule(t, l, cfg)
+			if s.II < s.MII() {
+				t.Fatalf("%s: II=%d below MII=%d", l.Name, s.II, s.MII())
+			}
+		}
+	}
+}
+
+func TestPartitionedAdjacency(t *testing.T) {
+	// Verify()'s adjacency check must hold for every clustered schedule.
+	loops := corpus.Generate(corpus.Params{Seed: 6, N: 80})
+	for _, nc := range []int{2, 4, 6} {
+		cfg := machine.Clustered(nc)
+		for _, l := range loops {
+			s := mustSchedule(t, l, cfg) // Verify runs inside
+			// Double-check explicitly.
+			for _, d := range s.Loop.Deps {
+				if d.Kind != ir.Flow {
+					continue
+				}
+				if !cfg.Adjacent(s.Cluster[d.From], s.Cluster[d.To]) {
+					t.Fatalf("%s: non-adjacent flow dep survived", l.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionedNeverBeatsMII(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 8, N: 60})
+	cfg := machine.Clustered(4)
+	for _, l := range loops {
+		s := mustSchedule(t, l, cfg)
+		if s.II < s.MII() {
+			t.Fatalf("%s: partitioned II=%d beats MII=%d", l.Name, s.II, s.MII())
+		}
+	}
+}
+
+func TestMoveExtensionInsertsMovesOnly(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 9, N: 60})
+	cfg := machine.Clustered(6)
+	cfg.AllowMoves = true
+	sawMove := false
+	for _, l := range loops {
+		s := mustSchedule(t, l, cfg)
+		for id, op := range s.Loop.Ops {
+			if op.Kind == ir.KMove {
+				sawMove = true
+				if id < len(l.Ops) {
+					t.Fatalf("%s: move op replaced an original op", l.Name)
+				}
+			}
+		}
+		// Adjacency must hold after move insertion too (Verify checks).
+	}
+	if !sawMove {
+		t.Log("note: no moves were needed in this corpus slice (acceptable but unusual)")
+	}
+}
+
+func TestStageCount(t *testing.T) {
+	l := corpus.Daxpy()
+	s := mustSchedule(t, l, machine.SingleCluster(12))
+	// daxpy chain: load(2) -> mul(2) -> add(1) -> store; length 6,
+	// II=ResMII=2 (4 L/S over 2... SingleCluster(12): 4 L/S units -> ResMII 1).
+	if s.StageCount() < 2 {
+		t.Errorf("daxpy stage count %d; expected pipelining across stages", s.StageCount())
+	}
+	if got := s.StageCount(); got != (maxTime(s.Time)/s.II)+1 {
+		t.Errorf("StageCount = %d, want %d", got, (maxTime(s.Time)/s.II)+1)
+	}
+}
+
+func maxTime(ts []int) int {
+	m := 0
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	l := corpus.Hydro()
+	cfg := machine.Clustered(4)
+	a := mustSchedule(t, l, cfg)
+	b := mustSchedule(t, l, cfg)
+	if a.II != b.II {
+		t.Fatalf("II differs across runs: %d vs %d", a.II, b.II)
+	}
+	for i := range a.Time {
+		if a.Time[i] != b.Time[i] || a.Cluster[i] != b.Cluster[i] {
+			t.Fatalf("placement differs at op %d", i)
+		}
+	}
+}
+
+func TestOptionsMaxIIRespected(t *testing.T) {
+	l := corpus.DivNorm() // RecMII 9
+	_, err := ScheduleLoop(l, machine.SingleCluster(4), Options{MaxII: 3})
+	if !errors.Is(err, ErrNoSchedule) {
+		t.Fatalf("expected ErrNoSchedule with MaxII below RecMII, got %v", err)
+	}
+}
+
+func TestCommLatencyRespected(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 12, N: 40})
+	cfg := machine.Clustered(4)
+	cfg.CommLatency = 2
+	for _, l := range loops {
+		s := mustSchedule(t, l, cfg) // Verify enforces comm latency slack
+		_ = s
+	}
+}
+
+func TestInvalidInputsRejected(t *testing.T) {
+	if _, err := ScheduleLoop(ir.New("empty"), machine.SingleCluster(4), Options{}); err == nil {
+		t.Fatal("empty loop accepted")
+	}
+	bad := machine.Config{Name: "none"}
+	if _, err := ScheduleLoop(corpus.Daxpy(), bad, Options{}); err == nil {
+		t.Fatal("machine without clusters accepted")
+	}
+}

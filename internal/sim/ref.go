@@ -1,0 +1,115 @@
+// Package sim executes loops two ways and compares the outcomes:
+//
+//   - Reference: a plain sequential interpreter of the dependence graph,
+//     iteration by iteration — the ground truth.
+//   - Pipelined: a cycle-accurate model of the clustered VLIW machine with
+//     queue register files executing a modulo schedule plus queue
+//     allocation. Every value carries a (producer, iteration) tag; each
+//     queue pop asserts that FIFO order delivered exactly the value the
+//     consumer expects, so any violation of the Q-Compatibility theorem,
+//     the partitioner's adjacency rule or a dependence constraint
+//     surfaces as a precise error.
+//
+// Both interpreters share ir.Eval, so a surviving value mismatch always
+// indicates a scheduling/allocation bug, never divergent semantics.
+package sim
+
+import (
+	"fmt"
+
+	"vliwq/internal/ir"
+)
+
+// StoreKey identifies one store instance in the original iteration space.
+type StoreKey struct {
+	Op   int // effective (pre-unrolling) op ID of the store
+	Iter int // original iteration
+}
+
+// Ref is the outcome of a sequential reference execution.
+type Ref struct {
+	Loop *ir.Loop
+	N    int // iterations executed (of the possibly-unrolled body)
+	// Values[op][k] is the value op produced in body-iteration k.
+	Values [][]int64
+	// Stores records every store instance, keyed in the original
+	// iteration space so unrolled and natural bodies are comparable.
+	Stores map[StoreKey]int64
+}
+
+// Reference executes n iterations of the loop body sequentially.
+func Reference(l *ir.Loop, n int) (*Ref, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := l.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([][]ir.Dep, len(l.Ops))
+	for id := range l.Ops {
+		inputs[id] = l.FlowInputs(l.Ops[id])
+	}
+	r := &Ref{
+		Loop:   l,
+		N:      n,
+		Values: make([][]int64, len(l.Ops)),
+		Stores: make(map[StoreKey]int64),
+	}
+	for id := range l.Ops {
+		r.Values[id] = make([]int64, n)
+	}
+	var args []int64
+	for k := 0; k < n; k++ {
+		for _, id := range order {
+			op := l.Ops[id]
+			args = args[:0]
+			for _, d := range inputs[id] {
+				args = append(args, r.value(d.From, k-d.Dist))
+			}
+			v := ir.Eval(op, l.OrigIter(op, k), args)
+			r.Values[id][k] = v
+			if op.Kind == ir.KStore {
+				r.Stores[StoreKey{op.EffID(), l.OrigIter(op, k)}] = v
+			}
+		}
+	}
+	return r, nil
+}
+
+// value returns op's value in body-iteration k; negative iterations yield
+// the synthetic live-in values that exist before the loop starts.
+func (r *Ref) value(opID, k int) int64 {
+	if k < 0 {
+		op := r.Loop.Ops[opID]
+		return ir.LeafValue(op.EffID(), r.Loop.OrigIter(op, k))
+	}
+	return r.Values[opID][k]
+}
+
+// CompareStores checks that two executions stored exactly the same values
+// for every (store, original-iteration) key present in both. Keys present
+// in only one execution are ignored when onlyCommon is true (an unrolled
+// body covers a truncated iteration range).
+func CompareStores(a, b map[StoreKey]int64, onlyCommon bool) error {
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			if onlyCommon {
+				continue
+			}
+			return fmt.Errorf("sim: store %+v missing from second execution", k)
+		}
+		if va != vb {
+			return fmt.Errorf("sim: store %+v differs: %d vs %d", k, va, vb)
+		}
+	}
+	if !onlyCommon {
+		for k := range b {
+			if _, ok := a[k]; !ok {
+				return fmt.Errorf("sim: store %+v missing from first execution", k)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package vliwq reproduces "Partitioned Schedules for Clustered VLIW
+// Architectures" (Fernandes, Llosa, Topham — IPPS/SPDP 1998): modulo
+// scheduling of innermost loops onto clustered VLIW machines whose register
+// files are FIFO queues, with copy-operation insertion for multi-consumer
+// values, loop unrolling, ring-partitioned scheduling, and queue allocation
+// via the Q-Compatibility test.
+//
+// This root package is the high-level facade; the building blocks live in
+// internal packages (ir, machine, sched, queue, copyins, unroll, sim,
+// metrics, exp) and are exercised directly by the examples and tools. A
+// typical use:
+//
+//	loop, _ := vliwq.ParseLoop(src)
+//	res, err := vliwq.Compile(loop, vliwq.Options{Machine: vliwq.Clustered(4), Unroll: true})
+//	fmt.Println(res.Report())
+//
+// Compile returns the schedule, the queue allocation and the headline
+// metrics, after verifying the result on the cycle-accurate simulator.
+package vliwq
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vliwq/internal/copyins"
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+	"vliwq/internal/metrics"
+	"vliwq/internal/queue"
+	"vliwq/internal/sched"
+	"vliwq/internal/sim"
+	"vliwq/internal/unroll"
+)
+
+// Loop is the compiler's input: an innermost loop body as a dependence
+// graph. Build one with ParseLoop or the internal/ir builders.
+type Loop = ir.Loop
+
+// Machine describes the target configuration.
+type Machine = machine.Config
+
+// SingleCluster returns the paper's single-cluster baseline machine with n
+// computation FUs (plus copy units).
+func SingleCluster(n int) Machine { return machine.SingleCluster(n) }
+
+// Clustered returns the paper's clustered machine: n clusters of
+// {1 L/S, 1 ADD, 1 MUL, 1 COPY}, 8 private queues each, connected by a
+// bidirectional ring with 8 communication queues per direction.
+func Clustered(n int) Machine { return machine.Clustered(n) }
+
+// ParseLoop reads a loop in the text format (see internal/ir: `op`,
+// `carried`, `mem`, `order` directives).
+func ParseLoop(src string) (*Loop, error) { return ir.ParseString(src) }
+
+// ReadLoop reads a loop in the text format from r.
+func ReadLoop(r io.Reader) (*Loop, error) { return ir.Parse(r) }
+
+// Options control the compilation pipeline.
+type Options struct {
+	// Machine is the target; the zero value selects SingleCluster(6).
+	Machine Machine
+	// Unroll enables automatic loop unrolling (factor chosen to minimize
+	// the per-original-iteration II bound, capped at 8).
+	Unroll bool
+	// UnrollFactor forces a specific factor (>= 2) instead of the
+	// automatic choice; implies unrolling.
+	UnrollFactor int
+	// CopyShape selects the fanout topology for copy insertion;
+	// the zero value is the balanced tree.
+	CopyShape copyins.Shape
+	// SkipVerify skips the simulator-based verification pass (useful for
+	// bulk experiments; the paper-scale harness verifies samples instead).
+	SkipVerify bool
+	// VerifyIterations bounds the verification run (0 = min(trip, 64)).
+	VerifyIterations int
+	// Sched tunes the scheduler's search effort.
+	Sched sched.Options
+}
+
+// Result is a compiled loop: the transformed body, its modulo schedule,
+// the queue allocation, and derived metrics.
+type Result struct {
+	Input    *Loop // the loop as given
+	Unrolled int   // unroll factor applied (1 = none)
+	Sched    *sched.Schedule
+	Alloc    *queue.Allocation
+
+	// Headline metrics.
+	II         int
+	MII        int
+	StageCount int
+	IPCStatic  float64
+	IPCDynamic float64
+	Queues     int // max private queues used in any cluster
+	RingQueues int // max ring queues used on any directed link
+}
+
+// Compile runs the full pipeline on one loop: (optional) unrolling, copy
+// insertion, modulo scheduling (partitioned when the machine has several
+// clusters), queue allocation, and — unless disabled — end-to-end
+// verification against sequential execution on the cycle-accurate QRF
+// simulator.
+func Compile(l *Loop, opts Options) (*Result, error) {
+	if l == nil {
+		return nil, fmt.Errorf("vliwq: nil loop")
+	}
+	cfg := opts.Machine
+	if cfg.NumClusters() == 0 {
+		cfg = SingleCluster(6)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+
+	work := l
+	factor := 1
+	switch {
+	case opts.UnrollFactor >= 2:
+		factor = opts.UnrollFactor
+	case opts.Unroll:
+		factor = unroll.AutoFactor(l, cfg)
+	}
+	if factor > 1 {
+		u, err := unroll.Unroll(l, factor)
+		if err != nil {
+			return nil, err
+		}
+		work = u
+	}
+
+	ins, err := copyins.Insert(work, opts.CopyShape)
+	if err != nil {
+		return nil, err
+	}
+
+	s, err := sched.ScheduleLoop(ins.Loop, cfg, opts.Sched)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("vliwq: internal error: %w", err)
+	}
+	alloc := queue.Allocate(s)
+	if err := alloc.Verify(); err != nil {
+		return nil, fmt.Errorf("vliwq: internal error: %w", err)
+	}
+
+	if !opts.SkipVerify {
+		n := opts.VerifyIterations
+		if n <= 0 {
+			n = s.Loop.TripCount()
+			if n > 64 {
+				n = 64
+			}
+		}
+		if err := sim.VerifyPipeline(s, alloc, n); err != nil {
+			return nil, fmt.Errorf("vliwq: verification failed: %w", err)
+		}
+	}
+
+	trip := l.TripCount()
+	iters := trip / factor
+	if iters < 1 {
+		iters = 1
+	}
+	return &Result{
+		Input:      l,
+		Unrolled:   factor,
+		Sched:      s,
+		Alloc:      alloc,
+		II:         s.II,
+		MII:        s.MII(),
+		StageCount: s.StageCount(),
+		IPCStatic:  metrics.IPCStatic(s),
+		IPCDynamic: metrics.IPCDynamic(s, iters),
+		Queues:     alloc.MaxPrivateQueues(),
+		RingQueues: alloc.MaxRingQueues(),
+	}, nil
+}
+
+// Report renders a human-readable summary of the compiled loop.
+func (r *Result) Report() string {
+	var b strings.Builder
+	s := r.Sched
+	fmt.Fprintf(&b, "loop %s on %s\n", r.Input.Name, s.Machine.Name)
+	if r.Unrolled > 1 {
+		fmt.Fprintf(&b, "  unrolled x%d (%d ops)\n", r.Unrolled, len(s.Loop.Ops))
+	}
+	fmt.Fprintf(&b, "  II=%d (ResMII=%d RecMII=%d)  stages=%d  length=%d\n",
+		s.II, s.ResMII, s.RecMII, r.StageCount, s.Length())
+	fmt.Fprintf(&b, "  IPC static=%.2f dynamic=%.2f\n", r.IPCStatic, r.IPCDynamic)
+	fmt.Fprintf(&b, "  queues: private<=%d per cluster, ring<=%d per link, max depth %d\n",
+		r.Queues, r.RingQueues, r.Alloc.MaxDepth())
+	return b.String()
+}
+
+// KernelSchedule renders the kernel as an II x FU table: one row per
+// modulo cycle, one column per cluster, listing the operations issued.
+func (r *Result) KernelSchedule() string {
+	s := r.Sched
+	rows := make([][]string, s.II)
+	for i := range rows {
+		rows[i] = make([]string, s.Machine.NumClusters())
+	}
+	for id, op := range s.Loop.Ops {
+		row := s.Time[id] % s.II
+		c := s.Cluster[id]
+		cell := &rows[row][c]
+		if *cell != "" {
+			*cell += " "
+		}
+		name := op.Name
+		if name == "" {
+			name = fmt.Sprintf("%s#%d", op.Kind, op.ID)
+		}
+		*cell += fmt.Sprintf("%s@%d", name, s.Time[id])
+	}
+	var b strings.Builder
+	for row := 0; row < s.II; row++ {
+		fmt.Fprintf(&b, "cycle %2d |", row)
+		for c := 0; c < s.Machine.NumClusters(); c++ {
+			fmt.Fprintf(&b, " %-30s |", rows[row][c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package vliwq_test
+
+import (
+	"strings"
+	"testing"
+
+	"vliwq"
+	"vliwq/internal/corpus"
+)
+
+const testLoop = `
+loop fir2
+trip 100
+op c0 load
+op x0 load
+op c1 load
+op x1 load
+op m0 mul c0 x0
+op m1 mul c1 x1
+op s  add m0 m1
+op st store s
+`
+
+func TestCompileQuickstart(t *testing.T) {
+	loop, err := vliwq.ParseLoop(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwq.Compile(loop, vliwq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II < res.Sched.ResMII {
+		t.Fatalf("II=%d below ResMII=%d", res.II, res.Sched.ResMII)
+	}
+	if res.IPCStatic <= 0 || res.IPCDynamic <= 0 {
+		t.Fatal("nonpositive IPC")
+	}
+	if res.Queues < 1 {
+		t.Fatal("no queues allocated")
+	}
+	rep := res.Report()
+	for _, frag := range []string{"fir2", "II=", "IPC"} {
+		if !strings.Contains(rep, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, rep)
+		}
+	}
+	if res.KernelSchedule() == "" {
+		t.Fatal("empty kernel schedule")
+	}
+}
+
+func TestCompileClusteredVerified(t *testing.T) {
+	// Compile runs the cycle-accurate verification by default; a passing
+	// compile is a machine-checked end-to-end run.
+	for _, k := range []string{"hydro", "complexmul", "wave2"} {
+		loop := corpus.KernelByName(k)
+		res, err := vliwq.Compile(loop, vliwq.Options{Machine: vliwq.Clustered(4), Unroll: true})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if res.RingQueues < 0 {
+			t.Fatalf("%s: bad ring usage", k)
+		}
+	}
+}
+
+func TestCompileOptionsValidation(t *testing.T) {
+	if _, err := vliwq.Compile(nil, vliwq.Options{}); err == nil {
+		t.Fatal("nil loop accepted")
+	}
+	bad, err := vliwq.ParseLoop("loop x\nop a add\nop st store a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forced factor 1 is invalid (must be >= 2 or use Unroll).
+	if _, err := vliwq.Compile(bad, vliwq.Options{UnrollFactor: 1}); err != nil {
+		t.Fatalf("factor 1 should be treated as no unrolling: %v", err)
+	}
+}
+
+func TestCompileUnrollFactorApplied(t *testing.T) {
+	loop := corpus.KernelByName("stencil3")
+	res, err := vliwq.Compile(loop, vliwq.Options{Machine: vliwq.SingleCluster(6), UnrollFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unrolled != 2 {
+		t.Fatalf("unroll factor %d, want 2", res.Unrolled)
+	}
+	if len(res.Sched.Loop.Ops) < 2*len(loop.Ops) {
+		t.Fatal("unrolled body too small")
+	}
+}
+
+func TestCompileSkipVerify(t *testing.T) {
+	loop := corpus.KernelByName("daxpy")
+	res, err := vliwq.Compile(loop, vliwq.Options{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II < 1 {
+		t.Fatal("bad II")
+	}
+}
+
+func TestReadLoop(t *testing.T) {
+	l, err := vliwq.ReadLoop(strings.NewReader(testLoop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "fir2" || len(l.Ops) != 8 {
+		t.Fatalf("parsed %s with %d ops", l.Name, len(l.Ops))
+	}
+}
