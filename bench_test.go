@@ -7,6 +7,7 @@
 package vliwq_test
 
 import (
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -21,6 +22,19 @@ import (
 func benchCorpus(b *testing.B) []*ir.Loop {
 	b.Helper()
 	return corpus.Generate(corpus.Params{Seed: corpus.DefaultSeed, N: 64})
+}
+
+// BenchmarkRunAll regenerates every figure, table and ablation end to end —
+// the whole experiment pipeline over one corpus. This is the headline
+// benchmark for the shared compile cache: most (loop, machine, options)
+// compilations recur across figures, so the cached pipeline should complete
+// the suite several times faster than independent per-figure compilation.
+func BenchmarkRunAll(b *testing.B) {
+	loops := benchCorpus(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		exp.RunAll(io.Discard, exp.Options{Loops: loops})
+	}
 }
 
 // cell parses a table cell like "93.8%" or "4.25" into a float.

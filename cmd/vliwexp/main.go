@@ -1,6 +1,6 @@
 // Command vliwexp regenerates the paper's evaluation: every figure and
 // table plus the ablations documented in DESIGN.md §5. By default it runs
-// the full 1258-loop corpus, which takes a few minutes; -n trades corpus
+// the full 1258-loop corpus, which takes a few seconds; -n trades corpus
 // size for speed.
 //
 // Usage:

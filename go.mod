@@ -1,0 +1,3 @@
+module vliwq
+
+go 1.22

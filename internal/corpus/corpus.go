@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"vliwq/internal/ir"
 )
@@ -80,9 +81,19 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Standard returns the 1258-loop corpus used by all experiments.
+var (
+	standardOnce sync.Once
+	standard     []*ir.Loop
+)
+
+// Standard returns the 1258-loop corpus used by all experiments. The corpus
+// is generated once and shared: generation is deterministic, every consumer
+// treats loops as read-only, and the shared identity is what lets the
+// experiment pipeline cache compilations across figures. Callers that need
+// a private mutable corpus must use Generate.
 func Standard() []*ir.Loop {
-	return Generate(Params{Seed: DefaultSeed})
+	standardOnce.Do(func() { standard = Generate(Params{Seed: DefaultSeed}) })
+	return standard
 }
 
 // Generate produces a deterministic synthetic corpus.

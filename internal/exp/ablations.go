@@ -26,9 +26,11 @@ func AblationCopyShape(opts Options) *Table {
 		scT, scC int
 		qT, qC   int
 	}
+	compTree := opts.compiler(cfg, pipeOpts{copies: true, shape: copyins.Tree})
+	compChain := opts.compiler(cfg, pipeOpts{copies: true, shape: copyins.Chain})
 	results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
-		tr := compileLoop(l, cfg, pipeOpts{copies: true, shape: copyins.Tree})
-		ch := compileLoop(l, cfg, pipeOpts{copies: true, shape: copyins.Chain})
+		tr := compTree(l)
+		ch := compChain(l)
 		if tr.Err != nil || ch.Err != nil {
 			return res{}
 		}
@@ -89,10 +91,13 @@ func AblationMoveOps(opts Options) *Table {
 			sameOff, sameOn bool
 			moves           int
 		}
+		compRef := opts.compiler(single, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+		compOff := opts.compiler(base, pipeOpts{unroll: true, copies: true, shape: copyins.Tree, factorFrom: &single})
+		compOn := opts.compiler(withMoves, pipeOpts{unroll: true, copies: true, shape: copyins.Tree, factorFrom: &single})
 		results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
-			ref := compileLoop(l, single, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
-			off := compileLoop(l, base, pipeOpts{unroll: true, copies: true, shape: copyins.Tree, factorFrom: &single})
-			on := compileLoop(l, withMoves, pipeOpts{unroll: true, copies: true, shape: copyins.Tree, factorFrom: &single})
+			ref := compRef(l)
+			off := compOff(l)
+			on := compOn(l)
 			if ref.Err != nil || off.Err != nil || on.Err != nil {
 				return res{}
 			}
@@ -150,13 +155,17 @@ func AblationCommLatency(opts Options) *Table {
 		iis [3]int
 	}
 	lats := []int{0, 1, 2}
+	comps := make([]func(*ir.Loop) compiled, len(lats))
+	for i, lat := range lats {
+		cfg := machine.Clustered(4)
+		cfg.CommLatency = lat
+		comps[i] = opts.compiler(cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+	}
 	results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
 		var r res
 		r.ok = true
-		for i, lat := range lats {
-			cfg := machine.Clustered(4)
-			cfg.CommLatency = lat
-			c := compileLoop(l, cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+		for i := range lats {
+			c := comps[i](l)
 			if c.Err != nil {
 				return res{}
 			}

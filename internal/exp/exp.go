@@ -1,15 +1,15 @@
 // Package exp regenerates every table and figure of the paper's evaluation
-// (see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured results). Each experiment consumes a loop corpus,
-// drives the full compilation pipeline (unrolling, copy insertion, modulo
-// scheduling / partitioning, queue allocation) and reduces the outcomes to
-// the statistic the paper plots.
+// (see DESIGN.md §5 for the experiment index). Each experiment consumes a
+// loop corpus, drives the full compilation pipeline (unrolling, copy
+// insertion, modulo scheduling / partitioning, queue allocation) and
+// reduces the outcomes to the statistic the paper plots.
 package exp
 
 import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"text/tabwriter"
 
@@ -28,6 +28,11 @@ type Options struct {
 	Loops []*ir.Loop
 	// Workers bounds parallel loop compilation; 0 uses GOMAXPROCS.
 	Workers int
+	// Pipeline, when non-nil, memoizes compilations across experiments
+	// sharing it: the figures compile heavily overlapping (loop, machine,
+	// options) sets, and the cache collapses every repeat into a map hit.
+	// RunAll installs one automatically. Nil compiles uncached.
+	Pipeline *Pipeline
 }
 
 func (o Options) loops() []*ir.Loop {
@@ -98,6 +103,117 @@ type pipeOpts struct {
 	factorFrom *machine.Config // machine used for AutoFactor; nil = target
 }
 
+// Pipeline is a concurrency-safe memo of compileLoop results, keyed by the
+// loop's identity plus digests of the machine configuration and pipeline
+// options. Results are shared pointers and must be treated as read-only —
+// which every experiment already does, since compiled loops, schedules and
+// allocations are never mutated after compilation.
+type Pipeline struct {
+	mu sync.Mutex
+	m  map[pipeKey]*pipeEntry
+}
+
+// NewPipeline returns an empty compilation cache.
+func NewPipeline() *Pipeline {
+	return &Pipeline{m: make(map[pipeKey]*pipeEntry)}
+}
+
+// pipeKey identifies one compilation. The loop is keyed by pointer: all
+// experiments sharing a Pipeline also share their corpus slice (RunAll uses
+// one Options value; corpus.Standard is memoized), so pointer identity is
+// exactly loop identity and avoids hashing whole dependence graphs.
+type pipeKey struct {
+	loop *ir.Loop
+	cfg  string
+	opts pipeOptsKey
+}
+
+// pipeOptsKey is the comparable digest of pipeOpts.
+type pipeOptsKey struct {
+	unroll, copies bool
+	shape          copyins.Shape
+	maxII, budget  int
+	factorFrom     string // configDigest of the AutoFactor machine, or ""
+}
+
+// pipeEntry computes its compilation exactly once, without holding the
+// cache-wide lock during the (comparatively expensive) compile.
+type pipeEntry struct {
+	once sync.Once
+	res  compiled
+}
+
+// configDigest renders every schedule-relevant Config field into a
+// comparable key. The name participates too: it appears in scheduler error
+// strings, so two same-shape machines with different names are not
+// interchangeable byte-for-byte.
+func configDigest(c *machine.Config) string {
+	var b strings.Builder
+	b.WriteString(c.Name)
+	for _, cl := range c.Clusters {
+		fmt.Fprintf(&b, ";%v|%d|%d", cl.FUs, cl.PrivateQueues, cl.QueueDepth)
+	}
+	fmt.Fprintf(&b, ";r%d;l%d;m%t", c.RingQueues, c.CommLatency, c.AllowMoves)
+	return b.String()
+}
+
+func optsKey(po pipeOpts) pipeOptsKey {
+	k := pipeOptsKey{
+		unroll: po.unroll,
+		copies: po.copies,
+		shape:  po.shape,
+		maxII:  po.schedOpts.MaxII,
+		budget: po.schedOpts.BudgetRatio,
+	}
+	if po.factorFrom != nil {
+		k.factorFrom = configDigest(po.factorFrom)
+	}
+	return k
+}
+
+// do returns the memoized result for key k, computing it on first use
+// without holding the cache-wide lock during the compile.
+func (p *Pipeline) do(k pipeKey, compute func() compiled) compiled {
+	p.mu.Lock()
+	e := p.m[k]
+	if e == nil {
+		e = &pipeEntry{}
+		p.m[k] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.res = compute() })
+	return e.res
+}
+
+// compile returns the memoized compilation of (l, cfg, po), computing it on
+// first use. A nil Pipeline compiles directly. Sweeps over many loops with
+// one configuration should bind Options.compiler instead, which digests the
+// configuration once.
+func (p *Pipeline) compile(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
+	if p == nil {
+		return compileLoop(l, cfg, po)
+	}
+	k := pipeKey{loop: l, cfg: configDigest(&cfg), opts: optsKey(po)}
+	return p.do(k, func() compiled { return compileLoop(l, cfg, po) })
+}
+
+// compiler binds (cfg, po) and returns the per-loop compile function the
+// experiments use inside their corpus sweeps. The cache-key digests are
+// computed once here rather than once per loop, so the per-loop cache hit
+// is just a map lookup.
+func (o Options) compiler(cfg machine.Config, po pipeOpts) func(*ir.Loop) compiled {
+	p := o.Pipeline
+	if p == nil {
+		return func(l *ir.Loop) compiled { return compileLoop(l, cfg, po) }
+	}
+	cfgD := configDigest(&cfg)
+	optsD := optsKey(po)
+	return func(l *ir.Loop) compiled {
+		k := pipeKey{loop: l, cfg: cfgD, opts: optsD}
+		return p.do(k, func() compiled { return compileLoop(l, cfg, po) })
+	}
+}
+
 // compileLoop runs unroll -> copy insertion -> scheduling -> allocation.
 func compileLoop(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
 	c := compiled{Loop: l, Factor: 1}
@@ -133,21 +249,34 @@ func compileLoop(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
 	return c
 }
 
-// forEach compiles fn over the corpus with a bounded worker pool, keeping
-// result order aligned with the input order.
+// forEach compiles fn over the corpus with a fixed pool of workers pulling
+// loop indices from a channel, keeping result order aligned with the input
+// order. A fixed pool spawns `workers` goroutines total instead of one per
+// loop — the corpus has over a thousand loops and each experiment sweeps it
+// several times, so goroutine-per-loop churn adds up.
 func forEach[T any](loops []*ir.Loop, workers int, fn func(l *ir.Loop) T) []T {
 	out := make([]T, len(loops))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, l := range loops {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, l *ir.Loop) {
-			defer wg.Done()
-			out[i] = fn(l)
-			<-sem
-		}(i, l)
+	if workers > len(loops) {
+		workers = len(loops)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(loops[i])
+			}
+		}()
+	}
+	for i := range loops {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	return out
 }
@@ -160,7 +289,12 @@ func pct(n, total int) string {
 }
 
 // RunAll regenerates every figure and table in order and writes them to w.
+// All experiments share one compilation cache: the figures' (loop, machine,
+// options) sets overlap heavily, so each distinct compilation runs once.
 func RunAll(w io.Writer, opts Options) {
+	if opts.Pipeline == nil {
+		opts.Pipeline = NewPipeline()
+	}
 	for _, t := range []*Table{
 		Fig3(opts),
 		CopyCost(opts),

@@ -31,8 +31,9 @@ func Fig3(opts Options) *Table {
 				queues int
 				failed bool
 			}
+			comp := opts.compiler(cfg, pipeOpts{copies: withCopies, shape: copyins.Tree})
 			results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
-				c := compileLoop(l, cfg, pipeOpts{copies: withCopies, shape: copyins.Tree})
+				c := comp(l)
 				if c.Err != nil {
 					return res{failed: true}
 				}
@@ -86,9 +87,11 @@ func CopyCost(opts Options) *Table {
 			iiGrowth       float64
 			copies         int
 		}
+		compBase := opts.compiler(cfg, pipeOpts{})
+		compWith := opts.compiler(cfg, pipeOpts{copies: true, shape: copyins.Tree})
 		results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
-			base := compileLoop(l, cfg, pipeOpts{})
-			with := compileLoop(l, cfg, pipeOpts{copies: true, shape: copyins.Tree})
+			base := compBase(l)
+			with := compWith(l)
 			if base.Err != nil || with.Err != nil {
 				return res{}
 			}

@@ -28,9 +28,11 @@ func Fig4(opts Options) *Table {
 			factor   int
 			unrolled bool
 		}
+		compBase := opts.compiler(cfg, pipeOpts{copies: true, shape: copyins.Tree})
+		compUnrl := opts.compiler(cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
 		results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
-			base := compileLoop(l, cfg, pipeOpts{copies: true, shape: copyins.Tree})
-			un := compileLoop(l, cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+			base := compBase(l)
+			un := compUnrl(l)
 			if base.Err != nil || un.Err != nil {
 				return res{}
 			}
@@ -86,9 +88,11 @@ func UnrollQueues(opts Options) *Table {
 			ok           bool
 			qBase, qUnrl int
 		}
+		compBase := opts.compiler(cfg, pipeOpts{copies: true, shape: copyins.Tree})
+		compUnrl := opts.compiler(cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
 		results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
-			base := compileLoop(l, cfg, pipeOpts{copies: true, shape: copyins.Tree})
-			un := compileLoop(l, cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+			base := compBase(l)
+			un := compUnrl(l)
 			if base.Err != nil || un.Err != nil {
 				return res{}
 			}

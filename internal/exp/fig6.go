@@ -28,14 +28,16 @@ func Fig6(opts Options) *Table {
 			delta  int
 			failed bool
 		}
+		compSingle := opts.compiler(single, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+		compClustered := opts.compiler(clustered, pipeOpts{unroll: true, copies: true, shape: copyins.Tree, factorFrom: &single})
 		results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
 			// The same transformed body is scheduled on both machines
 			// (total FU mixes match, so AutoFactor agrees).
-			s1 := compileLoop(l, single, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+			s1 := compSingle(l)
 			if s1.Err != nil {
 				return res{failed: true}
 			}
-			s2 := compileLoop(l, clustered, pipeOpts{unroll: true, copies: true, shape: copyins.Tree, factorFrom: &single})
+			s2 := compClustered(l)
 			if s2.Err != nil {
 				return res{failed: true}
 			}
@@ -91,8 +93,9 @@ func ClusterResources(opts Options) *Table {
 			priv, ring int
 			depth      int
 		}
+		comp := opts.compiler(clustered, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
 		results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
-			c := compileLoop(l, clustered, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+			c := comp(l)
 			if c.Err != nil {
 				return res{}
 			}

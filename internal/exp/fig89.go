@@ -15,7 +15,7 @@ import (
 // IPC is averaged per loop (kernel issue rate); dynamic IPC is weighted by
 // execution time across the corpus, which is what lets a few large loops
 // dominate, the effect the paper highlights.
-func ipcSeries(loops []*ir.Loop, workers int, title, id string) *Table {
+func ipcSeries(opts Options, loops []*ir.Loop, title, id string) *Table {
 	t := &Table{
 		ID:     id,
 		Title:  title,
@@ -29,8 +29,9 @@ func ipcSeries(loops []*ir.Loop, workers int, title, id string) *Table {
 		ok     bool
 	}
 	measure := func(cfg machine.Config) (staticMean float64, dynIPC float64) {
-		results := forEach(loops, workers, func(l *ir.Loop) point {
-			c := compileLoop(l, cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+		comp := opts.compiler(cfg, pipeOpts{unroll: true, copies: true, shape: copyins.Tree})
+		results := forEach(loops, opts.workers(), func(l *ir.Loop) point {
+			c := comp(l)
 			if c.Err != nil {
 				return point{}
 			}
@@ -82,7 +83,7 @@ func ipcSeries(loops []*ir.Loop, workers int, title, id string) *Table {
 
 // Fig8 reproduces "Figure 8. IPC — All Loops".
 func Fig8(opts Options) *Table {
-	t := ipcSeries(opts.loops(), opts.workers(),
+	t := ipcSeries(opts, opts.loops(),
 		"Operations issued per cycle, all loops", "fig8")
 	t.Notes = append(t.Notes,
 		"paper: static > dynamic (prologue/epilogue overhead); many loops are recurrence-bound and cannot use extra FUs",
@@ -105,7 +106,7 @@ func Fig9(opts Options) *Table {
 			filtered = append(filtered, l)
 		}
 	}
-	t := ipcSeries(filtered, opts.workers(),
+	t := ipcSeries(opts, filtered,
 		fmt.Sprintf("Operations issued per cycle, resource-constrained loops (%d of %d)",
 			len(filtered), len(opts.loops())), "fig9")
 	t.Notes = append(t.Notes,

@@ -36,12 +36,16 @@ func AblationInvariants(opts Options) *Table {
 			ratio    float64
 			removed  int
 		}
+		compBase := opts.compiler(cfg, pipeOpts{copies: true, shape: copyins.Tree})
 		results := forEach(loops, opts.workers(), func(l *ir.Loop) res {
 			hoisted, removed := hoistInvariants(l)
 			if removed == 0 {
 				return res{ok: true}
 			}
-			base := compileLoop(l, cfg, pipeOpts{copies: true, shape: copyins.Tree})
+			base := compBase(l)
+			// The hoisted variant is a fresh per-call loop: its pointer key
+			// could never hit the shared cache again, so compiling it
+			// through the Pipeline would only pollute the memo.
 			hc := compileLoop(hoisted, cfg, pipeOpts{copies: true, shape: copyins.Tree})
 			if base.Err != nil || hc.Err != nil {
 				return res{}

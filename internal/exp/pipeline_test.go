@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"vliwq/internal/copyins"
+	"vliwq/internal/corpus"
+	"vliwq/internal/machine"
+)
+
+func render(t *Table) string {
+	var b bytes.Buffer
+	t.Fprint(&b)
+	return b.String()
+}
+
+// TestPipelineCacheMatchesUncached is the cache's determinism contract:
+// every experiment must produce table-for-table identical output whether
+// its compilations come from a shared Pipeline or run uncached.
+func TestPipelineCacheMatchesUncached(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 11, N: 16})
+	figs := []struct {
+		name string
+		fn   func(Options) *Table
+	}{
+		{"fig3", Fig3}, {"copycost", CopyCost},
+		{"fig4", Fig4}, {"unrollqueues", UnrollQueues},
+		{"fig6", Fig6}, {"clusterres", ClusterResources},
+		{"fig8", Fig8}, {"fig9", Fig9},
+		{"ablation-copyshape", AblationCopyShape},
+		{"ablation-moves", AblationMoveOps},
+		{"ablation-commlat", AblationCommLatency},
+		{"ablation-invariants", AblationInvariants},
+	}
+	cached := Options{Loops: loops, Pipeline: NewPipeline()}
+	uncached := Options{Loops: loops}
+	for _, f := range figs {
+		want := render(f.fn(uncached))
+		got := render(f.fn(cached))
+		if got != want {
+			t.Errorf("%s: cached output differs from uncached:\n--- uncached ---\n%s--- cached ---\n%s", f.name, want, got)
+		}
+		// A second cached run — now fully served from the memo — must also
+		// agree.
+		if again := render(f.fn(cached)); again != want {
+			t.Errorf("%s: cache-hit output differs from uncached", f.name)
+		}
+	}
+}
+
+// TestRunAllDeterministic runs the whole suite twice with independent
+// caches and worker pools; the rendered bytes must match exactly.
+func TestRunAllDeterministic(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 7, N: 12})
+	var a, b bytes.Buffer
+	RunAll(&a, Options{Loops: loops, Workers: 4})
+	RunAll(&b, Options{Loops: loops, Workers: 1})
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("RunAll output depends on run or worker count:\n--- run 1 ---\n%s--- run 2 ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestPipelineKeySeparation ensures the digests keep distinct machines and
+// pipeline options apart: a cache shared across experiments must never
+// serve a compilation for the wrong configuration.
+func TestPipelineKeySeparation(t *testing.T) {
+	p := NewPipeline()
+	l := corpus.Daxpy()
+	a := p.compile(l, machine.SingleCluster(4), pipeOpts{copies: true, shape: copyins.Tree})
+	b := p.compile(l, machine.SingleCluster(12), pipeOpts{copies: true, shape: copyins.Tree})
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("compile errors: %v, %v", a.Err, b.Err)
+	}
+	if a.Sched.II == b.Sched.II {
+		t.Fatalf("4-FU and 12-FU compilations collided in the cache (II %d == %d)", a.Sched.II, b.Sched.II)
+	}
+	moves := machine.Clustered(4)
+	moves.AllowMoves = true
+	c := p.compile(l, machine.Clustered(4), pipeOpts{copies: true, shape: copyins.Tree})
+	d := p.compile(l, moves, pipeOpts{copies: true, shape: copyins.Tree})
+	if c.Sched == d.Sched {
+		t.Fatalf("AllowMoves variant shares the base machine's cache entry")
+	}
+	// Identical inputs must share one entry (pointer-equal results).
+	e := p.compile(l, machine.SingleCluster(4), pipeOpts{copies: true, shape: copyins.Tree})
+	if e.Sched != a.Sched {
+		t.Fatalf("identical compilation did not hit the cache")
+	}
+}
+
+// TestStandardCorpusMemoized verifies corpus.Standard returns the shared
+// corpus instance, the property the cross-figure cache keys rely on.
+func TestStandardCorpusMemoized(t *testing.T) {
+	a, b := corpus.Standard(), corpus.Standard()
+	if len(a) != corpus.PaperCorpusSize {
+		t.Fatalf("standard corpus has %d loops", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Standard() regenerated loop %d", i)
+		}
+	}
+}

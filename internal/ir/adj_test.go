@@ -1,0 +1,82 @@
+package ir
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAdjMatchesDeps cross-checks the CSR adjacency views against a direct
+// scan of the dependence list, including edge order, on random graphs.
+func TestAdjMatchesDeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		l := New("adj")
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			l.AddOp(KAdd, "")
+		}
+		for e := rng.Intn(30); e > 0; e-- {
+			l.AddDep(Dep{From: rng.Intn(n), To: rng.Intn(n), Dist: rng.Intn(3), Kind: DepKind(rng.Intn(3))})
+		}
+		preds, succs := l.Preds(), l.Succs()
+		if preds.Len() != n || succs.Len() != n {
+			t.Fatalf("view length %d/%d, want %d", preds.Len(), succs.Len(), n)
+		}
+		for id := 0; id < n; id++ {
+			var wantP, wantS []Dep
+			for _, d := range l.Deps {
+				if d.To == id {
+					wantP = append(wantP, d)
+				}
+				if d.From == id {
+					wantS = append(wantS, d)
+				}
+			}
+			if gotP := preds.At(id); !sameDeps(gotP, wantP) {
+				t.Fatalf("preds(%d) = %v, want %v", id, gotP, wantP)
+			}
+			if gotS := succs.At(id); !sameDeps(gotS, wantS) {
+				t.Fatalf("succs(%d) = %v, want %v", id, gotS, wantS)
+			}
+		}
+	}
+}
+
+func sameDeps(a, b []Dep) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestAdjIntoReuse verifies the Into variants rebuild in place without
+// allocating once the buffers have reached the graph's size.
+func TestAdjIntoReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocation counts")
+	}
+	l := New("reuse")
+	for i := 0; i < 8; i++ {
+		l.AddOp(KAdd, "")
+	}
+	for i := 1; i < 8; i++ {
+		l.AddDep(Dep{From: i - 1, To: i, Kind: Flow})
+	}
+	var preds, succs Adj
+	l.PredsInto(&preds)
+	l.SuccsInto(&succs)
+	allocs := testing.AllocsPerRun(100, func() {
+		l.PredsInto(&preds)
+		l.SuccsInto(&succs)
+	})
+	if allocs != 0 {
+		t.Errorf("adjacency rebuild allocates %.1f times, want 0", allocs)
+	}
+	if got := len(succs.At(3)); got != 1 {
+		t.Fatalf("succs(3) has %d edges, want 1", got)
+	}
+}

@@ -327,22 +327,82 @@ func (l *Loop) MaxFanout() int {
 	return max
 }
 
-// Preds returns, for each op ID, the dependences entering it.
-func (l *Loop) Preds() [][]Dep {
-	p := make([][]Dep, len(l.Ops))
-	for _, d := range l.Deps {
-		p[d.To] = append(p[d.To], d)
-	}
-	return p
+// Adj is a compressed sparse row (CSR) adjacency view of a loop's
+// dependence edges: one flat offset array plus one backing edge array,
+// instead of a slice-of-slices. Per-op edge lists preserve Deps order.
+// The view is a snapshot — it does not track later loop mutations.
+type Adj struct {
+	off  []int32
+	deps []Dep
 }
 
-// Succs returns, for each op ID, the dependences leaving it.
-func (l *Loop) Succs() [][]Dep {
-	s := make([][]Dep, len(l.Ops))
-	for _, d := range l.Deps {
-		s[d.From] = append(s[d.From], d)
+// At returns the edges of op id. The returned slice aliases the CSR backing
+// array and must not be appended to or retained across a rebuild.
+func (a *Adj) At(id int) []Dep {
+	return a.deps[a.off[id]:a.off[id+1]]
+}
+
+// Len returns the number of ops the view covers.
+func (a *Adj) Len() int { return len(a.off) - 1 }
+
+// Preds returns a CSR view of the dependences entering each op.
+func (l *Loop) Preds() Adj {
+	var a Adj
+	l.PredsInto(&a)
+	return a
+}
+
+// Succs returns a CSR view of the dependences leaving each op.
+func (l *Loop) Succs() Adj {
+	var a Adj
+	l.SuccsInto(&a)
+	return a
+}
+
+// PredsInto rebuilds a as the predecessor view, reusing its storage.
+func (l *Loop) PredsInto(a *Adj) { l.adjInto(a, false) }
+
+// SuccsInto rebuilds a as the successor view, reusing its storage.
+func (l *Loop) SuccsInto(a *Adj) { l.adjInto(a, true) }
+
+func (l *Loop) adjInto(a *Adj, bySource bool) {
+	n := len(l.Ops)
+	if cap(a.off) < n+1 {
+		a.off = make([]int32, n+1)
+	} else {
+		a.off = a.off[:n+1]
+		for i := range a.off {
+			a.off[i] = 0
+		}
 	}
-	return s
+	if cap(a.deps) < len(l.Deps) {
+		a.deps = make([]Dep, len(l.Deps))
+	} else {
+		a.deps = a.deps[:len(l.Deps)]
+	}
+	key := func(d Dep) int {
+		if bySource {
+			return d.From
+		}
+		return d.To
+	}
+	// Counting sort: bucket counts, prefix-sum to starts, stable fill (the
+	// cursor pass turns starts into ends), then shift ends back to offsets.
+	for _, d := range l.Deps {
+		a.off[key(d)+1]++
+	}
+	for i := 1; i <= n; i++ {
+		a.off[i] += a.off[i-1]
+	}
+	for _, d := range l.Deps {
+		k := key(d)
+		a.deps[a.off[k]] = d
+		a.off[k]++
+	}
+	for i := n; i > 0; i-- {
+		a.off[i] = a.off[i-1]
+	}
+	a.off[0] = 0
 }
 
 // SumLatency returns the sum of all operation latencies; it is a safe upper
@@ -357,17 +417,33 @@ func (l *Loop) SumLatency() int {
 
 // TopoOrder returns the op IDs in a topological order of the
 // zero-distance subgraph. It returns an error if the zero-distance subgraph
-// contains a cycle (which would make the loop unexecutable).
+// contains a cycle (which would make the loop unexecutable). The successor
+// lists live in one flat CSR array rather than a slice per op, keeping the
+// check cheap on the scheduling hot path.
 func (l *Loop) TopoOrder() ([]int, error) {
 	n := len(l.Ops)
 	indeg := make([]int, n)
-	succ := make([][]int, n)
+	off := make([]int32, n+1)
 	for _, d := range l.Deps {
 		if d.Dist == 0 {
-			succ[d.From] = append(succ[d.From], d.To)
+			off[d.From+1]++
 			indeg[d.To]++
 		}
 	}
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	flat := make([]int32, off[n])
+	for _, d := range l.Deps {
+		if d.Dist == 0 {
+			flat[off[d.From]] = int32(d.To)
+			off[d.From]++
+		}
+	}
+	for i := n; i > 0; i-- {
+		off[i] = off[i-1]
+	}
+	off[0] = 0
 	// Deterministic order: smallest ready ID first.
 	ready := make([]int, 0, n)
 	for i := 0; i < n; i++ {
@@ -382,10 +458,10 @@ func (l *Loop) TopoOrder() ([]int, error) {
 		ready = ready[1:]
 		order = append(order, id)
 		inserted := false
-		for _, s := range succ[id] {
+		for _, s := range flat[off[id]:off[id+1]] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				ready = append(ready, s)
+				ready = append(ready, int(s))
 				inserted = true
 			}
 		}

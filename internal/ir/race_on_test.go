@@ -1,0 +1,8 @@
+//go:build race
+
+package ir
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation inflates allocation counts, so AllocsPerRun regression
+// tests skip under it.
+const raceEnabled = true

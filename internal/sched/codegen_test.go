@@ -120,7 +120,7 @@ func TestClusterUtilizationBalance(t *testing.T) {
 }
 
 func TestCandidateIIs(t *testing.T) {
-	cs := candidateIIs(3, 100)
+	cs := candidateIIs(nil, 3, 100)
 	if cs[0] != 3 {
 		t.Fatalf("first candidate %d, want MII", cs[0])
 	}
@@ -142,7 +142,7 @@ func TestCandidateIIs(t *testing.T) {
 		t.Fatalf("too many candidates: %d", len(cs))
 	}
 	// Degenerate range.
-	if got := candidateIIs(5, 5); len(got) != 1 || got[0] != 5 {
+	if got := candidateIIs(nil, 5, 5); len(got) != 1 || got[0] != 5 {
 		t.Fatalf("single-candidate range wrong: %v", got)
 	}
 }

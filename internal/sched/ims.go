@@ -1,19 +1,21 @@
 package sched
 
 import (
-	"container/heap"
-	"sort"
+	"sync"
 
 	"vliwq/internal/ir"
 	"vliwq/internal/machine"
 )
 
 // state carries one scheduling run. A run makes several II attempts; each
-// attempt works on fresh per-op arrays. When the move extension grows the
-// loop, reset restores the pristine input for the next attempt.
+// attempt works on per-op arrays restored to their pristine values. The
+// state is a reusable scratch arena: every slice, the modulo reservation
+// table and the worklist keep their storage across II attempts and — via
+// statePool — across ScheduleLoop calls, so the hot path of an attempt
+// allocates only when the loop grows past any previously seen size.
 type state struct {
 	orig        *ir.Loop
-	loop        *ir.Loop
+	loop        *ir.Loop // working copy; ops are shared, never mutated
 	cfg         machine.Config
 	budgetRatio int
 
@@ -24,40 +26,71 @@ type state struct {
 	never    []bool
 	pinned   []int // fixed cluster for inserted moves, -1 otherwise
 	height   []int
-	preds    [][]ir.Dep
-	succs    [][]ir.Dep
-	table    *mrt
+	preds    ir.Adj
+	succs    ir.Adj
+	table    mrt
 	load     []int // cached per-cluster reservation counts
 	allowed  []int // compact-mode cluster subset (nil = free placement)
+
+	wl        worklist
+	prefBuf   []clusterPref // scratch for clusterPrefs ordering
+	prefOut   []int         // scratch for the returned preference order
+	pinnedBuf [1]int        // scratch for a single pinned preference
+	pathBuf   []int         // scratch for move-chain ring paths
+	settleBuf []ir.Dep      // scratch for settle's edge snapshot
+	iiBuf     []int         // scratch for the candidate-II sequence
+	minTBuf   []int         // per-cluster earliest cycle, per findSlot call
+	adjBuf    []bool        // per-cluster ring-adjacency verdict
 
 	stats Stats
 }
 
-func newState(l *ir.Loop, cfg machine.Config, budgetRatio int) *state {
-	st := &state{orig: l, cfg: cfg, budgetRatio: budgetRatio}
+// statePool recycles scheduling arenas across ScheduleLoop calls; the
+// experiment pipeline schedules tens of thousands of loops back to back and
+// the arena slices are the dominant allocation otherwise.
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// init binds the arena to a new input loop, reusing all prior storage.
+func (st *state) init(l *ir.Loop, cfg machine.Config, budgetRatio int) {
+	st.orig = l
+	st.cfg = cfg
+	st.budgetRatio = budgetRatio
+	st.stats = Stats{}
+	if st.loop == nil {
+		st.loop = &ir.Loop{}
+	}
+	st.loop.Name = l.Name
+	st.loop.Trip = l.Trip
+	st.loop.Unroll = l.Unroll
 	st.reset()
-	return st
 }
 
-// reset prepares a fresh attempt on the pristine input loop.
+// reset prepares a fresh attempt on the pristine input loop. Op structs are
+// shared with the input (the scheduler never mutates them); only the op and
+// dependence lists are restored, so an attempt that inserted move operations
+// leaves no trace.
 func (st *state) reset() {
 	st.allowed = nil
-	st.loop = st.orig.Clone()
+	st.loop.Ops = append(st.loop.Ops[:0], st.orig.Ops...)
+	st.loop.Deps = append(st.loop.Deps[:0], st.orig.Deps...)
 	n := len(st.loop.Ops)
-	st.time = fillInt(n, -1)
-	st.cluster = fillInt(n, -1)
-	st.prevTime = fillInt(n, -1)
-	st.pinned = fillInt(n, -1)
-	st.never = make([]bool, n)
-	for i := range st.never {
-		st.never[i] = true
-	}
-	st.preds = st.loop.Preds()
-	st.succs = st.loop.Succs()
+	st.time = refill(st.time, n, -1)
+	st.cluster = refill(st.cluster, n, -1)
+	st.prevTime = refill(st.prevTime, n, -1)
+	st.pinned = refill(st.pinned, n, -1)
+	st.never = refill(st.never, n, true)
+	st.loop.PredsInto(&st.preds)
+	st.loop.SuccsInto(&st.succs)
 }
 
-func fillInt(n, v int) []int {
-	s := make([]int, n)
+// refill returns s resized to n with every element set to v, reusing the
+// backing array when it is large enough.
+func refill[T any](s []T, n int, v T) []T {
+	if cap(s) < n {
+		s = make([]T, n)
+	} else {
+		s = s[:n]
+	}
 	for i := range s {
 		s[i] = v
 	}
@@ -71,12 +104,12 @@ func fillInt(n, v int) []int {
 // slightly larger II is usually what finds the schedule.
 func (st *state) tryII(ii int) bool {
 	st.ii = ii
-	st.table = newMRT(ii, &st.cfg)
-	st.load = make([]int, st.cfg.NumClusters())
+	st.table.reset(ii, &st.cfg)
+	st.load = refill(st.load, st.cfg.NumClusters(), 0)
 	st.computeHeights()
 
-	wl := &worklist{st: st}
-	heap.Init(wl)
+	wl := &st.wl
+	wl.reset(st, len(st.loop.Ops))
 	for id := range st.loop.Ops {
 		wl.push(id)
 	}
@@ -98,7 +131,11 @@ func (st *state) tryII(ii int) bool {
 		estart := st.earliestStart(id)
 		t, c, ok := st.findSlot(id, estart)
 		if !ok {
-			t, c = st.forceSlot(id, estart, wl)
+			if t, c, ok = st.forceSlot(id, estart, wl); !ok {
+				// No cluster can ever host the op (or nothing occupies the
+				// conflicting slot): the attempt is unschedulable.
+				return false
+			}
 		}
 		st.place(id, t, c)
 		budget += st.settle(id, wl) * st.budgetRatio
@@ -107,11 +144,11 @@ func (st *state) tryII(ii int) bool {
 }
 
 // earliestStart returns the earliest issue cycle permitted by the scheduled
-// predecessors of id (ignoring communication latency, which is checked per
-// candidate cluster in feasible).
+// predecessors of id (ignoring communication latency, which findSlot folds
+// into its per-cluster earliest-cycle bound).
 func (st *state) earliestStart(id int) int {
 	estart := 0
-	for _, d := range st.preds[id] {
+	for _, d := range st.preds.At(id) {
 		if tf := st.time[d.From]; tf >= 0 {
 			if e := tf + st.loop.Ops[d.From].Kind.Latency() - st.ii*d.Dist; e > estart {
 				estart = e
@@ -126,17 +163,75 @@ func (st *state) earliestStart(id int) int {
 // (including communication latency) and the ring adjacency rule. When the
 // machine allows moves, a second pass accepts non-adjacent clusters (moves
 // are inserted later by settle).
+//
+// Feasibility splits into per-cluster facts (earliest legal cycle given
+// scheduled predecessors, ring adjacency to scheduled neighbours) and the
+// one per-cycle fact (a free FU in the reservation table). The per-cluster
+// facts cannot change during the search — nothing is placed or evicted —
+// so they are computed once per candidate cluster instead of once per
+// (cycle, cluster) pair, leaving only the MRT probe in the inner loop.
 func (st *state) findSlot(id, estart int) (int, int, bool) {
 	prefs := st.clusterPrefs(id)
+	if len(prefs) == 0 {
+		return 0, 0, false
+	}
+	nc := st.cfg.NumClusters()
+	minT := refill(st.minTBuf, nc, 0)
+	adjOK := refill(st.adjBuf, nc, true)
+	st.minTBuf, st.adjBuf = minT, adjOK
+	for _, c := range prefs {
+		req := 0
+		for _, d := range st.preds.At(id) {
+			tf := st.time[d.From]
+			if tf < 0 {
+				continue
+			}
+			lat := st.loop.Ops[d.From].Kind.Latency()
+			if d.Kind == ir.Flow && st.cluster[d.From] != c {
+				lat += st.cfg.CommLatency
+			}
+			if r := tf + lat - st.ii*d.Dist; r > req {
+				req = r
+			}
+		}
+		minT[c] = req
+		ok := true
+		for _, d := range st.preds.At(id) {
+			if d.Kind == ir.Flow && st.time[d.From] >= 0 && !st.cfg.Adjacent(st.cluster[d.From], c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, d := range st.succs.At(id) {
+				if d.Kind == ir.Flow && st.time[d.To] >= 0 && !st.cfg.Adjacent(c, st.cluster[d.To]) {
+					ok = false
+					break
+				}
+			}
+		}
+		adjOK[c] = ok
+	}
+	class := machine.ClassOf(st.loop.Ops[id].Kind)
+	pinned := st.pinned[id]
 	passes := 1
-	if st.cfg.AllowMoves && st.pinned[id] < 0 {
+	if st.cfg.AllowMoves && pinned < 0 {
 		passes = 2
 	}
 	for pass := 0; pass < passes; pass++ {
 		requireAdj := pass == 0
 		for t := estart; t < estart+st.ii; t++ {
 			for _, c := range prefs {
-				if st.feasible(id, t, c, requireAdj) {
+				if pinned >= 0 && c != pinned {
+					continue
+				}
+				if requireAdj && !adjOK[c] {
+					continue
+				}
+				if t < minT[c] {
+					continue
+				}
+				if st.table.free(t%st.ii, c, class) {
 					return t, c, true
 				}
 			}
@@ -145,46 +240,24 @@ func (st *state) findSlot(id, estart int) (int, int, bool) {
 	return 0, 0, false
 }
 
-// feasible reports whether op id can issue at cycle t on cluster c.
-func (st *state) feasible(id, t, c int, requireAdj bool) bool {
-	if p := st.pinned[id]; p >= 0 && c != p {
-		return false
+// clusterPref orders one cluster candidate: more already-scheduled flow
+// neighbours first, then lighter MRT load, then index.
+type clusterPref struct{ c, neigh, load int }
+
+func (p clusterPref) before(q clusterPref) bool {
+	if p.neigh != q.neigh {
+		return p.neigh > q.neigh
 	}
-	op := st.loop.Ops[id]
-	if !st.table.free(t%st.ii, c, machine.ClassOf(op.Kind)) {
-		return false
+	if p.load != q.load {
+		return p.load < q.load
 	}
-	for _, d := range st.preds[id] {
-		tf := st.time[d.From]
-		if tf < 0 {
-			continue
-		}
-		lat := st.loop.Ops[d.From].Kind.Latency()
-		if d.Kind == ir.Flow && st.cluster[d.From] != c {
-			lat += st.cfg.CommLatency
-		}
-		if t+st.ii*d.Dist < tf+lat {
-			return false
-		}
-	}
-	if requireAdj {
-		for _, d := range st.preds[id] {
-			if d.Kind == ir.Flow && st.time[d.From] >= 0 && !st.cfg.Adjacent(st.cluster[d.From], c) {
-				return false
-			}
-		}
-		for _, d := range st.succs[id] {
-			if d.Kind == ir.Flow && st.time[d.To] >= 0 && !st.cfg.Adjacent(c, st.cluster[d.To]) {
-				return false
-			}
-		}
-	}
-	return true
+	return p.c < q.c
 }
 
 // clusterPrefs orders the clusters for slot search: clusters holding more
 // already-scheduled flow neighbours first, then lighter MRT load, then
-// index. Clusters without an FU of the op's class are excluded.
+// index. Clusters without an FU of the op's class are excluded. The result
+// aliases scratch buffers valid until the next clusterPrefs call.
 func (st *state) clusterPrefs(id int) []int {
 	class := machine.ClassOf(st.loop.Ops[id].Kind)
 	if st.allowed != nil {
@@ -192,80 +265,94 @@ func (st *state) clusterPrefs(id int) []int {
 		// adjacent cluster subset, making the ring rule trivial. If the
 		// subset lacks the class entirely, fall back to the lowest
 		// cluster providing it.
-		var out []int
+		out := st.prefOut[:0]
 		for _, c := range st.allowed {
 			if st.cfg.FUCount(c, class) > 0 {
 				out = append(out, c)
 			}
 		}
-		if len(out) > 0 {
-			return out
-		}
-		for c := 0; c < st.cfg.NumClusters(); c++ {
-			if st.cfg.FUCount(c, class) > 0 {
-				return []int{c}
+		if len(out) == 0 {
+			for c := 0; c < st.cfg.NumClusters(); c++ {
+				if st.cfg.FUCount(c, class) > 0 {
+					out = append(out, c)
+					break
+				}
 			}
 		}
-		return nil
+		st.prefOut = out
+		return out
 	}
-	type pref struct{ c, neigh, load int }
-	var prefs []pref
+	// The candidate count is the cluster count (single digits), so an
+	// insertion sort into a reused buffer beats sort.Slice and its closure
+	// and interface allocations. The order relation is total (ties broken
+	// by cluster index), so the result matches any comparison sort.
+	prefs := st.prefBuf[:0]
 	for c := 0; c < st.cfg.NumClusters(); c++ {
 		if st.cfg.FUCount(c, class) == 0 {
 			continue
 		}
-		p := pref{c: c, load: st.load[c]}
-		for _, d := range st.preds[id] {
+		p := clusterPref{c: c, load: st.load[c]}
+		for _, d := range st.preds.At(id) {
 			if d.Kind == ir.Flow && st.time[d.From] >= 0 && st.cluster[d.From] == c {
 				p.neigh++
 			}
 		}
-		for _, d := range st.succs[id] {
+		for _, d := range st.succs.At(id) {
 			if d.Kind == ir.Flow && st.time[d.To] >= 0 && st.cluster[d.To] == c {
 				p.neigh++
 			}
 		}
+		i := len(prefs)
 		prefs = append(prefs, p)
-	}
-	sort.Slice(prefs, func(i, j int) bool {
-		if prefs[i].neigh != prefs[j].neigh {
-			return prefs[i].neigh > prefs[j].neigh
+		for i > 0 && p.before(prefs[i-1]) {
+			prefs[i] = prefs[i-1]
+			i--
 		}
-		if prefs[i].load != prefs[j].load {
-			return prefs[i].load < prefs[j].load
-		}
-		return prefs[i].c < prefs[j].c
-	})
-	out := make([]int, len(prefs))
-	for i, p := range prefs {
-		out[i] = p.c
+		prefs[i] = p
 	}
+	st.prefBuf = prefs
+	out := st.prefOut[:0]
+	for _, p := range prefs {
+		out = append(out, p.c)
+	}
+	st.prefOut = out
 	return out
 }
 
 // forceSlot is Rau's conflict-driven placement: when no conflict-free slot
 // exists in the window, place anyway — at estart for never-scheduled ops,
 // otherwise strictly later than the previous placement to guarantee
-// progress — and evict whatever stands in the way.
-func (st *state) forceSlot(id, estart int, wl *worklist) (int, int) {
+// progress — and evict whatever stands in the way. The false return covers
+// the unschedulable degenerate cases: no cluster offers the op's FU class,
+// or the conflicting slot has no occupant to evict (a zero-FU slot).
+func (st *state) forceSlot(id, estart int, wl *worklist) (int, int, bool) {
 	t := estart
 	if !st.never[id] && st.prevTime[id]+1 > t {
 		t = st.prevTime[id] + 1
 	}
-	prefs := st.clusterPrefs(id)
+	var prefs []int
 	if p := st.pinned[id]; p >= 0 {
-		prefs = []int{p}
+		st.pinnedBuf[0] = p
+		prefs = st.pinnedBuf[:]
+	} else {
+		prefs = st.clusterPrefs(id)
+	}
+	if len(prefs) == 0 {
+		return 0, 0, false
 	}
 	// Prefer a cluster with a free unit at this row; otherwise evict the
 	// lowest-priority occupant of the first preference.
 	class := machine.ClassOf(st.loop.Ops[id].Kind)
 	for _, c := range prefs {
 		if st.table.free(t%st.ii, c, class) {
-			return t, c
+			return t, c, true
 		}
 	}
 	c := prefs[0]
 	occ := st.table.occupants(t%st.ii, c, class)
+	if len(occ) == 0 {
+		return 0, 0, false
+	}
 	victim := occ[0]
 	for _, o := range occ {
 		if st.height[o] < st.height[victim] {
@@ -273,7 +360,7 @@ func (st *state) forceSlot(id, estart int, wl *worklist) (int, int) {
 		}
 	}
 	st.evict(victim, wl)
-	return t, c
+	return t, c, true
 }
 
 // place commits op id to (t, c) in the reservation table.
@@ -309,7 +396,7 @@ func (st *state) settle(id int, wl *worklist) int {
 	lat := st.loop.Ops[id].Kind.Latency()
 	// Dependence-violated successors are evicted (they will be rescheduled
 	// later at a feasible time).
-	for _, d := range st.succs[id] {
+	for _, d := range st.succs.At(id) {
 		ts := st.time[d.To]
 		if ts < 0 {
 			continue
@@ -325,7 +412,7 @@ func (st *state) settle(id int, wl *worklist) int {
 	// Predecessors can only be violated through communication latency
 	// (earliestStart covered the base latency).
 	if st.cfg.CommLatency > 0 {
-		for _, d := range st.preds[id] {
+		for _, d := range st.preds.At(id) {
 			tf := st.time[d.From]
 			if tf < 0 || d.Kind != ir.Flow || st.cluster[d.From] == c {
 				continue
@@ -335,22 +422,27 @@ func (st *state) settle(id int, wl *worklist) int {
 			}
 		}
 	}
-	// Ring adjacency.
+	// Ring adjacency. The op's edges are snapshotted first: insertMoveChain
+	// rebuilds the adjacency views in place, which would otherwise clobber
+	// the edge lists mid-iteration and leak this placement's new move edges
+	// into the same pass.
+	edges := st.settleBuf[:0]
+	edges = append(edges, st.preds.At(id)...)
+	edges = append(edges, st.succs.At(id)...)
+	st.settleBuf = edges
 	added := 0
-	for _, deps := range [2][][]ir.Dep{st.preds, st.succs} {
-		for _, d := range deps[id] {
-			if d.Kind != ir.Flow {
-				continue
-			}
-			other := d.From + d.To - id // the other endpoint
-			if st.time[other] < 0 || st.cfg.Adjacent(st.cluster[d.From], st.cluster[d.To]) {
-				continue
-			}
-			if st.cfg.AllowMoves {
-				added += st.insertMoveChain(d, wl)
-			} else {
-				st.evict(other, wl)
-			}
+	for _, d := range edges {
+		if d.Kind != ir.Flow {
+			continue
+		}
+		other := d.From + d.To - id // the other endpoint
+		if st.time[other] < 0 || st.cfg.Adjacent(st.cluster[d.From], st.cluster[d.To]) {
+			continue
+		}
+		if st.cfg.AllowMoves {
+			added += st.insertMoveChain(d, wl)
+		} else {
+			st.evict(other, wl)
 		}
 	}
 	return added
@@ -363,7 +455,7 @@ func (st *state) settle(id int, wl *worklist) int {
 // numOps passes.
 func (st *state) computeHeights() {
 	n := len(st.loop.Ops)
-	h := make([]int, n)
+	h := refill(st.height, n, 0)
 	for id, op := range st.loop.Ops {
 		h[id] = op.Kind.Latency()
 	}
@@ -384,37 +476,92 @@ func (st *state) computeHeights() {
 }
 
 // worklist is a max-heap of unscheduled op IDs ordered by height (ties by
-// lower ID for determinism). Membership is tracked so an op is never queued
-// twice.
+// lower ID for determinism). Membership is tracked in a flat bool array so
+// an op is never queued twice. The heap is hand-rolled — container/heap
+// boxes every pushed ID into an interface — but replicates container/heap's
+// sift algorithms exactly, so the pop order is bit-for-bit the same. Its
+// storage lives in the state arena and is reused across attempts.
 type worklist struct {
 	st  *state
 	ids []int
-	in  map[int]bool
+	in  []bool
+}
+
+// reset empties the worklist and sizes the membership array for n ops.
+func (w *worklist) reset(st *state, n int) {
+	w.st = st
+	w.ids = w.ids[:0]
+	w.in = refill(w.in, n, false)
 }
 
 func (w *worklist) Len() int { return len(w.ids) }
-func (w *worklist) Less(i, j int) bool {
+
+// less reports whether heap slot i sorts before slot j (a max-heap on
+// height, ties by lower ID).
+func (w *worklist) less(i, j int) bool {
 	hi, hj := w.st.height[w.ids[i]], w.st.height[w.ids[j]]
 	if hi != hj {
 		return hi > hj
 	}
 	return w.ids[i] < w.ids[j]
 }
-func (w *worklist) Swap(i, j int) { w.ids[i], w.ids[j] = w.ids[j], w.ids[i] }
-func (w *worklist) Push(x any)    { w.ids = append(w.ids, x.(int)) }
-func (w *worklist) Pop() any      { x := w.ids[len(w.ids)-1]; w.ids = w.ids[:len(w.ids)-1]; return x }
-func (w *worklist) push(id int) {
-	if w.in == nil {
-		w.in = map[int]bool{}
+
+func (w *worklist) swap(i, j int) { w.ids[i], w.ids[j] = w.ids[j], w.ids[i] }
+
+// fix restores the heap invariant over the whole array (used after the
+// priorities change wholesale when the move extension grows the graph).
+func (w *worklist) fix() {
+	n := len(w.ids)
+	for i := n/2 - 1; i >= 0; i-- {
+		w.down(i, n)
 	}
+}
+
+func (w *worklist) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !w.less(j, i) {
+			break
+		}
+		w.swap(i, j)
+		j = i
+	}
+}
+
+func (w *worklist) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && w.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !w.less(j, i) {
+			break
+		}
+		w.swap(i, j)
+		i = j
+	}
+}
+
+func (w *worklist) push(id int) {
 	if w.in[id] {
 		return
 	}
 	w.in[id] = true
-	heap.Push(w, id)
+	w.ids = append(w.ids, id)
+	w.up(len(w.ids) - 1)
 }
+
 func (w *worklist) pop() int {
-	id := heap.Pop(w).(int)
-	delete(w.in, id)
+	n := len(w.ids) - 1
+	w.swap(0, n)
+	w.down(0, n)
+	id := w.ids[n]
+	w.ids = w.ids[:n]
+	w.in[id] = false
 	return id
 }

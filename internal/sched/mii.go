@@ -80,15 +80,17 @@ func resMIISubset(l *ir.Loop, cfg machine.Config, clusters []int) (int, error) {
 // have RecMII 1.
 func RecMII(l *ir.Loop) int {
 	// Positive-cycle existence is monotonically non-increasing in II, so
-	// binary-search the smallest II free of positive cycles.
+	// binary-search the smallest II free of positive cycles. One scratch
+	// buffer serves every Bellman-Ford probe of the search.
+	scratch := make([]int, len(l.Ops))
 	lo, hi := 1, l.SumLatency()
 	if hi < 1 {
 		hi = 1
 	}
-	if !hasPositiveCycle(l, hi) {
+	if !hasPositiveCycle(l, hi, scratch) {
 		for lo < hi {
 			mid := (lo + hi) / 2
-			if hasPositiveCycle(l, mid) {
+			if hasPositiveCycle(l, mid, scratch) {
 				lo = mid + 1
 			} else {
 				hi = mid
@@ -105,10 +107,14 @@ func RecMII(l *ir.Loop) int {
 
 // hasPositiveCycle reports whether the dependence graph has a cycle of
 // positive total weight with edge weight latency(from) - II*dist
-// (Bellman-Ford longest-path relaxation from a virtual source).
-func hasPositiveCycle(l *ir.Loop, ii int) bool {
+// (Bellman-Ford longest-path relaxation from a virtual source). scratch
+// must hold len(l.Ops) elements; it is overwritten.
+func hasPositiveCycle(l *ir.Loop, ii int, scratch []int) bool {
 	n := len(l.Ops)
-	dist := make([]int, n) // virtual source connects to all with weight 0
+	dist := scratch[:n] // virtual source connects to all with weight 0
+	for i := range dist {
+		dist[i] = 0
+	}
 	for iter := 0; iter < n; iter++ {
 		changed := false
 		for _, d := range l.Deps {
@@ -146,7 +152,7 @@ func RecMIIBrute(l *ir.Loop, maxLen int) int {
 		if len(path) > maxLen {
 			return
 		}
-		for _, d := range succ[cur] {
+		for _, d := range succ.At(cur) {
 			if d.To == start && len(path) >= 0 {
 				lat, dist := 0, 0
 				for _, e := range path {

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"container/heap"
-
 	"vliwq/internal/ir"
 	"vliwq/internal/machine"
 )
@@ -29,7 +27,7 @@ func (st *state) insertMoveChain(d ir.Dep, wl *worklist) int {
 		step = -1
 	}
 	// Every intermediate cluster needs a COPY unit to host a move.
-	path := make([]int, 0, hops-1)
+	path := st.pathBuf[:0]
 	for c := (cp + step + n) % n; c != cc; c = (c + step + n) % n {
 		if st.cfg.FUCount(c, machine.COPY) == 0 {
 			st.evict(d.To, wl)
@@ -37,6 +35,7 @@ func (st *state) insertMoveChain(d ir.Dep, wl *worklist) int {
 		}
 		path = append(path, c)
 	}
+	st.pathBuf = path
 
 	// Remove the offending dependence (first value match).
 	removed := false
@@ -74,10 +73,10 @@ func (st *state) insertMoveChain(d ir.Dep, wl *worklist) int {
 
 	// The graph changed shape: rebuild adjacency and priorities, and
 	// restore the heap invariant under the new heights.
-	st.preds = st.loop.Preds()
-	st.succs = st.loop.Succs()
+	st.loop.PredsInto(&st.preds)
+	st.loop.SuccsInto(&st.succs)
 	st.computeHeights()
-	heap.Init(wl)
+	wl.fix()
 	return added
 }
 
@@ -90,4 +89,5 @@ func (st *state) growOp(pinnedCluster int) {
 	st.pinned = append(st.pinned, pinnedCluster)
 	st.never = append(st.never, true)
 	st.height = append(st.height, 0)
+	st.wl.in = append(st.wl.in, false)
 }

@@ -15,7 +15,28 @@ type mrt struct {
 type cell [machine.NumClasses][]int
 
 func newMRT(ii int, cfg *machine.Config) *mrt {
-	return &mrt{ii: ii, cfg: cfg, rows: make([]cell, ii*cfg.NumClusters())}
+	m := &mrt{}
+	m.reset(ii, cfg)
+	return m
+}
+
+// reset reconfigures the table for a new II, reusing the row array and the
+// per-cell reservation slices so repeated attempts do not allocate once the
+// table has reached its high-water size.
+func (m *mrt) reset(ii int, cfg *machine.Config) {
+	m.ii = ii
+	m.cfg = cfg
+	need := ii * cfg.NumClusters()
+	if cap(m.rows) < need {
+		m.rows = make([]cell, need)
+	} else {
+		m.rows = m.rows[:need]
+		for i := range m.rows {
+			for class := range m.rows[i] {
+				m.rows[i][class] = m.rows[i][class][:0]
+			}
+		}
+	}
 }
 
 func (m *mrt) at(row, cluster int) *cell {

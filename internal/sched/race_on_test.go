@@ -1,0 +1,8 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation inflates allocation counts, so the AllocsPerRun
+// regression tests skip under it.
+const raceEnabled = true

@@ -120,8 +120,10 @@ func (o Options) maxII(l *ir.Loop, mii int) int {
 // finally maxII itself, where a near-sequential schedule always exists.
 // This keeps pathological partitioning cases from burning thousands of
 // attempts while preserving Rau's II-minimality behaviour in practice.
-func candidateIIs(mii, maxII int) []int {
-	var out []int
+// The sequence is appended into buf (reset to length zero) so repeated
+// scheduling runs can reuse one buffer.
+func candidateIIs(buf []int, mii, maxII int) []int {
+	out := buf[:0]
 	ii := mii
 	for ii <= maxII {
 		out = append(out, ii)
@@ -167,20 +169,36 @@ func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, erro
 	}
 	maxII := opts.maxII(l, mii)
 
-	st := newState(l, cfg, opts.budgetRatio())
+	st := statePool.Get().(*state)
+	st.init(l, cfg, opts.budgetRatio())
+	defer statePool.Put(st)
 	finish := func(ii int) *Schedule {
+		// The state goes back to the pool, so the schedule takes copies of
+		// the placement arrays. When no move operations were inserted the
+		// working loop is identical to the input and the input is returned
+		// (downstream passes treat Schedule.Loop as read-only); otherwise
+		// the grown working copy is cloned out of the arena.
+		resLoop := l
+		if len(st.loop.Ops) != len(l.Ops) {
+			resLoop = st.loop.Clone()
+		}
+		time := make([]int, len(st.time))
+		copy(time, st.time)
+		cluster := make([]int, len(st.cluster))
+		copy(cluster, st.cluster)
 		return &Schedule{
-			Loop:    st.loop,
+			Loop:    resLoop,
 			Machine: cfg,
 			II:      ii,
-			Time:    st.time,
-			Cluster: st.cluster,
+			Time:    time,
+			Cluster: cluster,
 			ResMII:  resMII,
 			RecMII:  recMII,
 			Stats:   st.stats,
 		}
 	}
-	for _, ii := range candidateIIs(mii, maxII) {
+	st.iiBuf = candidateIIs(st.iiBuf, mii, maxII)
+	for _, ii := range st.iiBuf {
 		st.stats.Attempts++
 		if st.tryII(ii) {
 			return finish(ii), nil
@@ -206,7 +224,8 @@ func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, erro
 			if sub < mii {
 				sub = mii
 			}
-			for _, ii := range candidateIIs(sub, maxII) {
+			st.iiBuf = candidateIIs(st.iiBuf, sub, maxII)
+			for _, ii := range st.iiBuf {
 				st.stats.Attempts++
 				st.allowed = allowed
 				if st.tryII(ii) {
