@@ -1,0 +1,85 @@
+// Command vliwd is the long-running compilation daemon: an HTTP/JSON
+// service (internal/service) over the vliwq pipeline, backed by the shared
+// compile cache.
+//
+// Usage:
+//
+//	vliwd                          # serve on :8391, cache bounded at 64Ki entries
+//	vliwd -addr 127.0.0.1:9000 -cache-entries 4096
+//
+// Endpoints: POST /compile, POST /batch, GET /healthz, GET /stats. Drive it
+// with cmd/vliwload or curl; see the README's "Serving" quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vliwq/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run serves until ctx is cancelled and returns the process exit code. When
+// ready is non-nil it receives the bound address once the listener is up —
+// the hook the tests (and -addr :0) use.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("vliwd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8391", "listen address")
+		entries = fs.Int("cache-entries", 65536, "compile cache bound (0 = unbounded, negative disables caching)")
+		workers = fs.Int("workers", 0, "per-batch compile workers (0 = GOMAXPROCS)")
+		batch   = fs.Int("max-batch", 0, "max requests per /batch call (0 = 1024)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	srv := service.New(service.Config{
+		CacheEntries: *entries,
+		Workers:      *workers,
+		MaxBatch:     *batch,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "vliwd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "vliwd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		fmt.Fprintln(stderr, "vliwd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "vliwd: shutdown:", err)
+		return 1
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "vliwd: served %d compile + %d batch requests (%d cache hits), shutting down\n",
+		st.CompileRequests, st.BatchRequests, st.Cache.Hits)
+	return 0
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vliwq"
+	"vliwq/internal/corpus"
+	"vliwq/internal/service"
+)
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port, drives
+// one compile through it, and checks the graceful-shutdown path.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", stderr.String())
+	}
+
+	base := "http://" + addr
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(service.CompileRequest{
+		Loop:    vliwq.FormatLoop(corpus.KernelByName("daxpy")),
+		Machine: "clustered:4",
+	})
+	resp, err = http.Post(base+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr service.CompileResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: status %d, err %v", resp.StatusCode, err)
+	}
+	if cr.Loop != "daxpy" || cr.II < 1 {
+		t.Fatalf("compile response: %+v", cr)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(stdout.String(), "listening on") || !strings.Contains(stdout.String(), "shutting down") {
+		t.Fatalf("stdout missing lifecycle lines:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("bad flag exit code %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("bad addr exit code %d, want 1", code)
+	}
+}

@@ -13,7 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"vliwq/internal/corpus"
@@ -36,43 +38,49 @@ var figures = map[string]func(exp.Options) *exp.Table{
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vliwexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig     = flag.String("fig", "all", "experiment to run: all, or one of "+names())
-		n       = flag.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
-		seed    = flag.Int64("seed", corpus.DefaultSeed, "corpus seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		fig     = fs.String("fig", "all", "experiment to run: all, or one of "+names())
+		n       = fs.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
+		seed    = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
+		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n <= 0 {
+		fmt.Fprintf(stderr, "vliwexp: -n must be a positive corpus size (got %d)\n", *n)
+		return 2
+	}
+	fn, ok := figures[*fig]
+	if !ok && *fig != "all" {
+		fmt.Fprintf(stderr, "vliwexp: unknown figure %q; available: %s\n", *fig, names())
+		return 2
+	}
 
 	opts := exp.Options{
 		Loops:   corpus.Generate(corpus.Params{Seed: *seed, N: *n}),
 		Workers: *workers,
 	}
-	fmt.Printf("corpus: %d loops (seed %d)\n\n", *n, *seed)
+	fmt.Fprintf(stdout, "corpus: %d loops (seed %d)\n\n", *n, *seed)
 	if *fig == "all" {
-		exp.RunAll(os.Stdout, opts)
-		return
+		exp.RunAll(stdout, opts)
+		return 0
 	}
-	fn, ok := figures[*fig]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "vliwexp: unknown figure %q; available: %s\n", *fig, names())
-		os.Exit(1)
-	}
-	fn(opts).Fprint(os.Stdout)
+	fn(opts).Fprint(stdout)
+	return 0
 }
 
 func names() string {
-	var out []string
+	out := make([]string, 0, len(figures))
 	for k := range figures {
 		out = append(out, k)
 	}
-	// Stable order for help text.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
-	}
+	sort.Strings(out)
 	return strings.Join(out, ", ")
 }

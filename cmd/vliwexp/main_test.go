@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRunSingleFigureGolden locks in the rendered fig3 table on a small
+// deterministic corpus.
+func TestRunSingleFigureGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fig", "fig3", "-n", "24", "-seed", "5"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "fig3_n24_seed5", stdout.Bytes())
+}
+
+// TestRunAllFiguresSmoke runs every experiment end to end on a tiny corpus;
+// the output shape (one table per experiment) is asserted, not the bytes.
+func TestRunAllFiguresSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "8", "-seed", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	if n := strings.Count(stdout.String(), "== "); n != 12 {
+		t.Fatalf("expected 12 tables, saw %d:\n%s", n, stdout.String())
+	}
+}
+
+// TestRunBadFlags is the satellite fix's contract: unknown -fig exits
+// non-zero with the sorted figure list on stderr, and non-positive -n is
+// rejected instead of generating an empty corpus.
+func TestRunBadFlags(t *testing.T) {
+	sortedList := "ablation-commlat, ablation-copyshape, ablation-invariants, ablation-moves, " +
+		"clusterres, copycost, fig3, fig4, fig6, fig8, fig9, unrollqueues"
+	tests := []struct {
+		name      string
+		args      []string
+		stderrHas string
+	}{
+		{"unknown figure", []string{"-fig", "fig7"}, `unknown figure "fig7"; available: ` + sortedList},
+		{"zero corpus", []string{"-n", "0"}, "-n must be a positive corpus size (got 0)"},
+		{"negative corpus", []string{"-n", "-5"}, "-n must be a positive corpus size (got -5)"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"bad figure beats slow run", []string{"-fig", "nope", "-n", "1000000"}, "unknown figure"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tt.args, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("run(%v) exited 0", tt.args)
+			}
+			if !strings.Contains(stderr.String(), tt.stderrHas) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tt.stderrHas)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("error path wrote to stdout: %s", stdout.String())
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -21,33 +22,47 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vliwgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n     = flag.Int("n", corpus.PaperCorpusSize, "corpus size")
-		seed  = flag.Int64("seed", corpus.DefaultSeed, "corpus seed")
-		stats = flag.Bool("stats", false, "print corpus distribution statistics")
-		dump  = flag.Int("dump", -1, "print loop #i in the text format")
+		n     = fs.Int("n", corpus.PaperCorpusSize, "corpus size")
+		seed  = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
+		stats = fs.Bool("stats", false, "print corpus distribution statistics")
+		dump  = fs.Int("dump", -1, "print loop #i in the text format")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *n <= 0 {
+		fmt.Fprintf(stderr, "vliwgen: -n must be a positive corpus size (got %d)\n", *n)
+		return 2
+	}
 	loops := corpus.Generate(corpus.Params{Seed: *seed, N: *n})
 
 	switch {
 	case *dump >= 0:
 		if *dump >= len(loops) {
-			fmt.Fprintf(os.Stderr, "vliwgen: loop %d out of range (corpus has %d)\n", *dump, len(loops))
-			os.Exit(1)
+			fmt.Fprintf(stderr, "vliwgen: loop %d out of range (corpus has %d)\n", *dump, len(loops))
+			return 1
 		}
-		if err := ir.Format(os.Stdout, loops[*dump]); err != nil {
-			fmt.Fprintln(os.Stderr, "vliwgen:", err)
-			os.Exit(1)
+		if err := ir.Format(stdout, loops[*dump]); err != nil {
+			fmt.Fprintln(stderr, "vliwgen:", err)
+			return 1
 		}
 	case *stats:
-		printStats(loops)
+		printStats(stdout, loops)
 	default:
-		flag.Usage()
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func printStats(loops []*ir.Loop) {
+func printStats(w io.Writer, loops []*ir.Loop) {
 	var sizes []int
 	var ops, mem, alu, muldiv, fanned int
 	recBound := 0
@@ -75,13 +90,13 @@ func printStats(loops []*ir.Loop) {
 	}
 	sort.Ints(sizes)
 	pick := func(q float64) int { return sizes[int(q*float64(len(sizes)-1))] }
-	fmt.Printf("loops:            %d\n", len(loops))
-	fmt.Printf("ops total:        %d (mean %.1f per loop)\n", ops, float64(ops)/float64(len(loops)))
-	fmt.Printf("size p10/50/90:   %d / %d / %d (max %d)\n", pick(.1), pick(.5), pick(.9), sizes[len(sizes)-1])
-	fmt.Printf("op mix:           %.0f%% mem, %.0f%% alu, %.0f%% mul+div\n",
+	fmt.Fprintf(w, "loops:            %d\n", len(loops))
+	fmt.Fprintf(w, "ops total:        %d (mean %.1f per loop)\n", ops, float64(ops)/float64(len(loops)))
+	fmt.Fprintf(w, "size p10/50/90:   %d / %d / %d (max %d)\n", pick(.1), pick(.5), pick(.9), sizes[len(sizes)-1])
+	fmt.Fprintf(w, "op mix:           %.0f%% mem, %.0f%% alu, %.0f%% mul+div\n",
 		100*float64(mem)/float64(ops), 100*float64(alu)/float64(ops), 100*float64(muldiv)/float64(ops))
-	fmt.Printf("multi-consumer:   %.0f%% of loops have a value with fanout > 1\n",
+	fmt.Fprintf(w, "multi-consumer:   %.0f%% of loops have a value with fanout > 1\n",
 		100*float64(fanned)/float64(len(loops)))
-	fmt.Printf("recurrence-bound: %.0f%% of loops (RecMII > ResMII at 18 FUs)\n",
+	fmt.Fprintf(w, "recurrence-bound: %.0f%% of loops (RecMII > ResMII at 18 FUs)\n",
 		100*float64(recBound)/float64(len(loops)))
 }

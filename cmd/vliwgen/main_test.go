@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestRunStatsGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-n", "30", "-stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "stats_n30", stdout.Bytes())
+}
+
+func TestRunDumpGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-n", "30", "-dump", "3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "dump3_n30", stdout.Bytes())
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name      string
+		args      []string
+		code      int
+		stderrHas string
+	}{
+		{"dump out of range", []string{"-n", "5", "-dump", "5"}, 1, "out of range"},
+		{"zero corpus", []string{"-n", "0", "-stats"}, 2, "-n must be a positive corpus size"},
+		{"no mode prints usage", []string{"-n", "5"}, 2, "Usage"},
+		{"unknown flag", []string{"-wat"}, 2, "flag provided but not defined"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tt.args, &stdout, &stderr); code != tt.code {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", code, tt.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tt.stderrHas) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tt.stderrHas)
+			}
+		})
+	}
+}

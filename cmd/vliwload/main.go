@@ -1,0 +1,234 @@
+// Command vliwload load-tests a running vliwd: it replays corpus loops
+// against /compile (or /batch) at a fixed concurrency for a fixed duration
+// and reports throughput and latency percentiles, plus the server's own
+// /stats counters.
+//
+// Usage:
+//
+//	vliwload -addr http://127.0.0.1:8391 -duration 5s -concurrency 8
+//	vliwload -addr http://127.0.0.1:8391 -batch 16 -machine clustered:4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vliwq"
+	"vliwq/internal/corpus"
+	"vliwq/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vliwload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8391", "vliwd base URL")
+		duration    = fs.Duration("duration", 5*time.Second, "how long to drive load")
+		concurrency = fs.Int("concurrency", 8, "concurrent request workers")
+		n           = fs.Int("n", 64, "number of distinct corpus loops to replay")
+		seed        = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
+		machineSpec = fs.String("machine", "clustered:4", "machine spec sent with every request")
+		batch       = fs.Int("batch", 0, "requests per /batch call (0 drives /compile)")
+		unrollReq   = fs.Bool("unroll", true, "request automatic unrolling")
+		verify      = fs.Bool("verify", false, "request simulator verification (heavier)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *concurrency < 1 || *n < 1 || *duration <= 0 {
+		fmt.Fprintln(stderr, "vliwload: -concurrency, -n and -duration must be positive")
+		return 2
+	}
+	if _, err := vliwq.ParseMachine(*machineSpec); err != nil {
+		fmt.Fprintln(stderr, "vliwload:", err)
+		return 2
+	}
+
+	bodies, err := buildBodies(*n, *seed, *machineSpec, *unrollReq, !*verify, *batch)
+	if err != nil {
+		fmt.Fprintln(stderr, "vliwload:", err)
+		return 1
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	path := base + "/compile"
+	if *batch > 0 {
+		path = base + "/batch"
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+
+	var (
+		next     atomic.Int64
+		failures atomic.Int64
+		loopsOK  atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+	)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []time.Duration
+			for time.Now().Before(deadline) {
+				b := bodies[int(next.Add(1))%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(path, "application/json", bytes.NewReader(b.data))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					failures.Add(1)
+					continue
+				}
+				// /batch answers 200 even when individual entries fail, so
+				// per-entry errors count as failed loops, not green calls.
+				ok, failed := countLoops(resp.Body, b.loops, *batch > 0)
+				resp.Body.Close()
+				loopsOK.Add(int64(ok))
+				failures.Add(int64(failed))
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// Divide by the measured wall time, not the nominal -duration: calls in
+	// flight at the deadline still finish and count.
+	elapsed := time.Since(start)
+
+	if len(lats) == 0 {
+		fmt.Fprintf(stderr, "vliwload: no successful requests against %s (%d failures)\n", path, failures.Load())
+		return 1
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(q float64) time.Duration { return lats[int(q*float64(len(lats)-1))] }
+	fmt.Fprintf(stdout, "vliwload: %d calls (%d loops compiled) in %s, %d failures\n",
+		len(lats), loopsOK.Load(), elapsed.Round(time.Millisecond), failures.Load())
+	fmt.Fprintf(stdout, "throughput: %.1f calls/s (%.1f loops/s)\n",
+		float64(len(lats))/elapsed.Seconds(), float64(loopsOK.Load())/elapsed.Seconds())
+	fmt.Fprintf(stdout, "latency: p50=%s p90=%s p99=%s max=%s\n",
+		pick(0.50).Round(time.Microsecond), pick(0.90).Round(time.Microsecond),
+		pick(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+
+	if st, err := fetchStats(client, base); err == nil {
+		fmt.Fprintf(stdout, "server: %d compiles, cache hits=%d misses=%d entries=%d\n",
+			st.Sched.Compiles, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
+	} else {
+		fmt.Fprintln(stderr, "vliwload: stats:", err)
+	}
+	if failures.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// countLoops drains one response body and splits the call's loops into
+// compiled vs failed. /compile bodies are all-or-nothing; /batch bodies
+// are inspected entry by entry, since the endpoint answers 200 even when
+// every entry carries an error.
+func countLoops(r io.Reader, loops int, isBatch bool) (ok, failed int) {
+	if !isBatch {
+		io.Copy(io.Discard, r)
+		return loops, 0
+	}
+	var batch service.BatchResponse
+	if err := json.NewDecoder(r).Decode(&batch); err != nil {
+		return 0, loops
+	}
+	for _, e := range batch.Results {
+		if e.Error != "" || e.Response == nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	return ok, failed
+}
+
+// body is one pre-marshalled request carrying the number of loops a
+// successful call compiles (a trailing /batch body may be partial).
+type body struct {
+	data  []byte
+	loops int
+}
+
+// buildBodies renders the request set: n corpus loops formatted in the text
+// format, marshalled once up front so the load loop measures the server,
+// not the generator.
+func buildBodies(n int, seed int64, machineSpec string, unroll, skipVerify bool, batch int) ([]body, error) {
+	loops := corpus.Generate(corpus.Params{Seed: seed, N: n})
+	reqs := make([]service.CompileRequest, len(loops))
+	for i, l := range loops {
+		reqs[i] = service.CompileRequest{
+			Loop:       vliwq.FormatLoop(l),
+			Machine:    machineSpec,
+			Unroll:     unroll,
+			SkipVerify: skipVerify,
+		}
+	}
+	if batch <= 0 {
+		bodies := make([]body, len(reqs))
+		for i := range reqs {
+			b, err := json.Marshal(reqs[i])
+			if err != nil {
+				return nil, err
+			}
+			bodies[i] = body{data: b, loops: 1}
+		}
+		return bodies, nil
+	}
+	var bodies []body
+	for i := 0; i < len(reqs); i += batch {
+		j := i + batch
+		if j > len(reqs) {
+			j = len(reqs)
+		}
+		b, err := json.Marshal(service.BatchRequest{Requests: reqs[i:j]})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body{data: b, loops: j - i})
+	}
+	return bodies, nil
+}
+
+func fetchStats(client *http.Client, base string) (*service.StatsResponse, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

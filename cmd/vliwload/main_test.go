@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vliwq/internal/service"
+)
+
+// TestRunAgainstService drives a real in-process service and checks the
+// report: the tool must complete requests, print throughput and latency
+// percentiles, and exit 0.
+func TestRunAgainstService(t *testing.T) {
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-duration", "300ms", "-concurrency", "4", "-n", "8",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, frag := range []string{"vliwload:", "throughput:", "latency: p50=", "cache hits="} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+	if st := srv.Stats(); st.CompileRequests == 0 || st.Cache.Hits == 0 {
+		t.Fatalf("server saw %d requests, %d cache hits — load never cycled the corpus", st.CompileRequests, st.Cache.Hits)
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	srv := service.New(service.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-duration", "300ms", "-concurrency", "2", "-n", "8", "-batch", "4",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+	}
+	if srv.Stats().BatchRequests == 0 {
+		t.Fatal("batch mode never hit /batch")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	tests := [][]string{
+		{"-bogus"},
+		{"-concurrency", "0"},
+		{"-n", "-1"},
+		{"-duration", "0s"},
+		{"-machine", "mesh:9"},
+	}
+	for _, args := range tests {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit code %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunUnreachableServer must fail fast and non-zero, not hang.
+func TestRunUnreachableServer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", "http://127.0.0.1:1", "-duration", "200ms", "-concurrency", "2", "-n", "4",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no successful requests") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunBatchSurfacesEntryErrors guards against /batch's 200-with-errors
+// shape hiding a broken pipeline: a server whose entries all fail must
+// produce a non-zero exit and failure counts, not a green report.
+func TestRunBatchSurfacesEntryErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[{"error":"boom"},{"error":"boom"}]}`)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-duration", "200ms", "-concurrency", "2", "-n", "4", "-batch", "2",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "(0 loops compiled)") {
+		t.Fatalf("report counts failed entries as compiled:\n%s", stdout.String())
+	}
+}

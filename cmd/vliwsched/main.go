@@ -17,9 +17,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"vliwq"
 	"vliwq/internal/copyins"
@@ -29,43 +28,56 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vliwsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		machineSpec = flag.String("machine", "single:6", "target machine: single:<fus> or clustered:<clusters>")
-		kernel      = flag.String("kernel", "", "compile a built-in kernel instead of a file (see -list)")
-		list        = flag.Bool("list", false, "list built-in kernels and exit")
-		doUnroll    = flag.Bool("unroll", false, "apply automatic loop unrolling")
-		factor      = flag.Int("factor", 0, "force a specific unroll factor (>= 2)")
-		shape       = flag.String("shape", "tree", "copy fanout shape: tree or chain")
-		noVerify    = flag.Bool("noverify", false, "skip simulator verification")
-		dot         = flag.Bool("dot", false, "print the dependence graph in DOT format and exit")
-		showKernel  = flag.Bool("schedule", true, "print the kernel schedule table")
-		emit        = flag.Bool("emit", false, "emit the complete pipelined program (prologue/kernel/epilogue)")
-		moves       = flag.Bool("moves", false, "enable the move-operation extension on clustered machines")
-		commLat     = flag.Int("commlat", 0, "inter-cluster communication latency in cycles")
+		machineSpec = fs.String("machine", "single:6", "target machine: single:<fus> or clustered:<clusters>")
+		kernel      = fs.String("kernel", "", "compile a built-in kernel instead of a file (see -list)")
+		list        = fs.Bool("list", false, "list built-in kernels and exit")
+		doUnroll    = fs.Bool("unroll", false, "apply automatic loop unrolling")
+		factor      = fs.Int("factor", 0, "force a specific unroll factor (>= 2)")
+		shape       = fs.String("shape", "tree", "copy fanout shape: tree or chain")
+		noVerify    = fs.Bool("noverify", false, "skip simulator verification")
+		dot         = fs.Bool("dot", false, "print the dependence graph in DOT format and exit")
+		showKernel  = fs.Bool("schedule", true, "print the kernel schedule table")
+		emit        = fs.Bool("emit", false, "emit the complete pipelined program (prologue/kernel/epilogue)")
+		moves       = fs.Bool("moves", false, "enable the move-operation extension on clustered machines")
+		commLat     = fs.Int("commlat", 0, "inter-cluster communication latency in cycles")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "vliwsched:", err)
+		return 1
+	}
 
 	if *list {
 		for _, k := range corpus.Kernels() {
-			fmt.Printf("%-12s %2d ops, trip %d\n", k.Name, len(k.Ops), k.TripCount())
+			fmt.Fprintf(stdout, "%-12s %2d ops, trip %d\n", k.Name, len(k.Ops), k.TripCount())
 		}
-		return
+		return 0
 	}
 
-	loop, err := loadLoop(*kernel, flag.Arg(0))
+	loop, err := loadLoop(*kernel, fs.Arg(0), stdin)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *dot {
-		if err := ir.WriteDot(os.Stdout, loop); err != nil {
-			fatal(err)
+		if err := ir.WriteDot(stdout, loop); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
-	cfg, err := parseMachine(*machineSpec)
+	cfg, err := vliwq.ParseMachine(*machineSpec)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cfg.AllowMoves = *moves
 	cfg.CommLatency = *commLat
@@ -81,29 +93,30 @@ func main() {
 	}
 	res, err := vliwq.Compile(loop, opts)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Print(res.Report())
+	fmt.Fprint(stdout, res.Report())
 	if !*noVerify {
-		fmt.Println("  verified: pipelined execution matches sequential reference")
+		fmt.Fprintln(stdout, "  verified: pipelined execution matches sequential reference")
 	}
 	if *showKernel {
-		fmt.Println("\nkernel (cycle mod II, per cluster; op@issue-cycle):")
-		fmt.Print(res.KernelSchedule())
+		fmt.Fprintln(stdout, "\nkernel (cycle mod II, per cluster; op@issue-cycle):")
+		fmt.Fprint(stdout, res.KernelSchedule())
 	}
-	fmt.Println("\nqueue allocation:")
+	fmt.Fprintln(stdout, "\nqueue allocation:")
 	for _, f := range res.Alloc.Files {
-		fmt.Printf("  %-12v %d queues, depths %v\n", f.Loc, f.Queues, f.MaxOccupancy)
+		fmt.Fprintf(stdout, "  %-12v %d queues, depths %v\n", f.Loc, f.Queues, f.MaxOccupancy)
 	}
 	if *emit {
-		fmt.Println("\npipelined program:")
-		if err := sched.EmitPipelined(os.Stdout, res.Sched); err != nil {
-			fatal(err)
+		fmt.Fprintln(stdout, "\npipelined program:")
+		if err := sched.EmitPipelined(stdout, res.Sched); err != nil {
+			return fail(err)
 		}
 	}
+	return 0
 }
 
-func loadLoop(kernel, path string) (*vliwq.Loop, error) {
+func loadLoop(kernel, path string, stdin io.Reader) (*vliwq.Loop, error) {
 	if kernel != "" {
 		l := corpus.KernelByName(kernel)
 		if l == nil {
@@ -112,7 +125,7 @@ func loadLoop(kernel, path string) (*vliwq.Loop, error) {
 		return l, nil
 	}
 	if path == "" || path == "-" {
-		return vliwq.ReadLoop(os.Stdin)
+		return vliwq.ReadLoop(stdin)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -120,27 +133,4 @@ func loadLoop(kernel, path string) (*vliwq.Loop, error) {
 	}
 	defer f.Close()
 	return vliwq.ReadLoop(f)
-}
-
-func parseMachine(spec string) (vliwq.Machine, error) {
-	kind, arg, ok := strings.Cut(spec, ":")
-	if !ok {
-		return vliwq.Machine{}, fmt.Errorf("bad machine spec %q (want single:<n> or clustered:<n>)", spec)
-	}
-	n, err := strconv.Atoi(arg)
-	if err != nil || n < 1 {
-		return vliwq.Machine{}, fmt.Errorf("bad machine size %q", arg)
-	}
-	switch kind {
-	case "single":
-		return vliwq.SingleCluster(n), nil
-	case "clustered":
-		return vliwq.Clustered(n), nil
-	}
-	return vliwq.Machine{}, fmt.Errorf("unknown machine kind %q", kind)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vliwsched:", err)
-	os.Exit(1)
 }

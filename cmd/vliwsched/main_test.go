@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestRunKernelGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-kernel", "daxpy", "-machine", "clustered:4"}, strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "daxpy_clustered4", stdout.Bytes())
+}
+
+func TestRunStdinLoopGolden(t *testing.T) {
+	const loop = `
+loop fir2
+trip 100
+op c0 load
+op x0 load
+op c1 load
+op x1 load
+op m0 mul c0 x0
+op m1 mul c1 x1
+op s  add m0 m1
+op st store s
+`
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-machine", "single:6", "-unroll"}, strings.NewReader(loop), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "fir2_single6_unroll", stdout.Bytes())
+}
+
+func TestRunListKernels(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, k := range []string{"daxpy", "ddot"} {
+		if !strings.Contains(stdout.String(), k) {
+			t.Fatalf("-list output missing %q:\n%s", k, stdout.String())
+		}
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-kernel", "daxpy", "-dot"}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(stdout.String(), "digraph") {
+		t.Fatalf("-dot output is not DOT:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name      string
+		args      []string
+		stdin     string
+		stderrHas string
+	}{
+		{"unknown kernel", []string{"-kernel", "nosuch"}, "", `unknown kernel "nosuch"`},
+		{"bad machine", []string{"-kernel", "daxpy", "-machine", "mesh:4"}, "", "unknown machine kind"},
+		{"bad machine size", []string{"-kernel", "daxpy", "-machine", "single:zero"}, "", "bad machine size"},
+		{"unparsable stdin", []string{}, "op nope unknownkind", "vliwsched:"},
+		{"unknown flag", []string{"-zap"}, "", "flag provided but not defined"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tt.args, strings.NewReader(tt.stdin), &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("run(%v) exited 0", tt.args)
+			}
+			if !strings.Contains(stderr.String(), tt.stderrHas) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tt.stderrHas)
+			}
+		})
+	}
+}

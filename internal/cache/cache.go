@@ -1,0 +1,195 @@
+// Package cache provides a concurrency-safe memoization cache shared by the
+// experiment pipeline (internal/exp) and the compilation service
+// (internal/service).
+//
+// The cache is sharded by key hash so that concurrent workers contend on a
+// per-shard mutex rather than one cache-wide lock, and each entry computes
+// its value exactly once behind a sync.Once: when several goroutines ask for
+// the same key simultaneously, one runs the compute function and the rest
+// block on it instead of duplicating the (comparatively expensive) work.
+// Hit, miss and eviction counters are maintained for observability; a
+// bounded-size mode caps the entry count with random replacement.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Options configure a Cache. The zero value selects the defaults documented
+// on each field.
+type Options struct {
+	// Shards is the number of independently locked shards; 0 selects 16.
+	// Rounded up to a power of two so shard selection is a mask.
+	Shards int
+	// MaxEntries bounds the total entry count across all shards; 0 means
+	// unbounded. Per-shard caps sum exactly to MaxEntries, and the shard
+	// count shrinks for small bounds (at least 8 entries per shard) so a
+	// hot shard does not evict while the cache is far below the bound.
+	// When a shard is at its cap, an insertion evicts a random completed
+	// entry from that shard (entries whose compute is still in flight are
+	// never evicted, so the bound can be exceeded transiently by the
+	// number of concurrent computes).
+	MaxEntries int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`      // Do found an existing entry
+	Misses    int64 `json:"misses"`    // Do created the entry (and ran compute)
+	Evictions int64 `json:"evictions"` // entries dropped by the size bound
+	Entries   int64 `json:"entries"`   // current entry count
+}
+
+// Cache memoizes values of type V under comparable keys of type K. The
+// caller supplies the hash function used for sharding; it only affects
+// shard balance, never correctness — equality is the language's == on K.
+type Cache[K comparable, V any] struct {
+	hash   func(K) uint64
+	shards []shard[K, V]
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	entries   atomic.Int64
+}
+
+type shard[K comparable, V any] struct {
+	mu  sync.Mutex
+	m   map[K]*entry[V]
+	max int // entry cap; 0 = unbounded
+}
+
+type entry[V any] struct {
+	once sync.Once
+	val  V
+	done atomic.Bool // set after compute; eviction skips in-flight entries
+}
+
+// New returns an empty cache. hash maps a key to its shard and must be
+// safe for concurrent use (pure functions are).
+func New[K comparable, V any](opts Options, hash func(K) uint64) *Cache[K, V] {
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two for mask-based shard selection.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	// A bounded cache splits the bound across shards, so fold shards until
+	// each holds a useful slice (>= 8 entries where the bound allows it):
+	// many tiny shards would evict hot entries while the cache as a whole
+	// sits far below MaxEntries.
+	if opts.MaxEntries > 0 {
+		for p > 1 && opts.MaxEntries/p < 8 {
+			p >>= 1
+		}
+	}
+	c := &Cache[K, V]{
+		hash:   hash,
+		shards: make([]shard[K, V], p),
+		mask:   uint64(p - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[K]*entry[V])
+	}
+	if opts.MaxEntries > 0 {
+		// Per-shard caps sum exactly to MaxEntries: the first rem shards
+		// take the remainder.
+		base, rem := opts.MaxEntries/p, opts.MaxEntries%p
+		for i := range c.shards {
+			c.shards[i].max = base
+			if i < rem {
+				c.shards[i].max++
+			}
+		}
+	}
+	return c
+}
+
+// Do returns the memoized value for key k, running compute exactly once per
+// key on first use. Concurrent callers of the same key share one compute:
+// the first runs it, the rest block until it finishes. compute must not
+// call back into the same cache key (the sync.Once would self-deadlock).
+func (c *Cache[K, V]) Do(k K, compute func() V) V {
+	sh := &c.shards[c.hash(k)&c.mask]
+	sh.mu.Lock()
+	e := sh.m[k]
+	if e == nil {
+		e = &entry[V]{}
+		if sh.max > 0 && len(sh.m) >= sh.max {
+			c.evictLocked(sh)
+		}
+		sh.m[k] = e
+		c.entries.Add(1)
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	sh.mu.Unlock()
+	e.once.Do(func() {
+		e.val = compute()
+		e.done.Store(true)
+	})
+	return e.val
+}
+
+// Get reports the memoized value for k, if a completed one exists. It never
+// blocks on an in-flight compute and does not touch the hit/miss counters.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	sh := &c.shards[c.hash(k)&c.mask]
+	sh.mu.Lock()
+	e := sh.m[k]
+	sh.mu.Unlock()
+	if e == nil || !e.done.Load() {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}
+
+// evictLocked drops one completed entry from sh (random replacement via map
+// iteration order). Entries still computing are skipped: evicting one would
+// strand the goroutines blocked on its sync.Once with a value no future
+// caller shares.
+func (c *Cache[K, V]) evictLocked(sh *shard[K, V]) {
+	for k, e := range sh.m {
+		if e.done.Load() {
+			delete(sh.m, k)
+			c.entries.Add(-1)
+			c.evictions.Add(1)
+			return
+		}
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache[K, V]) Len() int { return int(c.entries.Load()) }
+
+// Stats snapshots the counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+	}
+}
+
+// StringHash is FNV-1a over the key bytes — the default hash for
+// string-keyed caches.
+func StringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoMemoizes(t *testing.T) {
+	c := New[string, int](Options{}, StringHash)
+	var computes atomic.Int64
+	get := func(k string, v int) int {
+		return c.Do(k, func() int { computes.Add(1); return v })
+	}
+	if got := get("a", 1); got != 1 {
+		t.Fatalf("Do(a) = %d, want 1", got)
+	}
+	if got := get("a", 99); got != 1 {
+		t.Fatalf("second Do(a) = %d, want memoized 1", got)
+	}
+	if got := get("b", 2); got != 2 {
+		t.Fatalf("Do(b) = %d, want 2", got)
+	}
+	if n := computes.Load(); n != 2 {
+		t.Fatalf("compute ran %d times, want 2", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 2 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want hits=1 misses=2 entries=2 evictions=0", s)
+	}
+}
+
+func TestGet(t *testing.T) {
+	c := New[string, int](Options{}, StringHash)
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get on empty cache reported a value")
+	}
+	c.Do("k", func() int { return 7 })
+	v, ok := c.Get("k")
+	if !ok || v != 7 {
+		t.Fatalf("Get(k) = %d, %t; want 7, true", v, ok)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Fatalf("Get changed hit/miss counters: %+v", s)
+	}
+}
+
+// TestConcurrentSameKey verifies the per-entry sync.Once contract: many
+// goroutines racing on one key observe a single compute and one value.
+func TestConcurrentSameKey(t *testing.T) {
+	c := New[string, int](Options{Shards: 4}, StringHash)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	const workers = 32
+	out := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = c.Do("hot", func() int {
+				computes.Add(1)
+				return 42
+			})
+		}(w)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", n)
+	}
+	for w, v := range out {
+		if v != 42 {
+			t.Fatalf("worker %d saw %d, want 42", w, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != workers-1 {
+		t.Fatalf("stats = %+v, want misses=1 hits=%d", s, workers-1)
+	}
+}
+
+// TestConcurrentManyKeys exercises shard contention across distinct keys;
+// run under -race this is the cache's main data-race check.
+func TestConcurrentManyKeys(t *testing.T) {
+	c := New[string, int](Options{Shards: 8}, StringHash)
+	const keys, workers = 64, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("k%d", (i+w)%keys)
+				want := (i + w) % keys
+				if got := c.Do(k, func() int { return want }); got != want {
+					t.Errorf("Do(%s) = %d, want %d", k, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != keys {
+		t.Fatalf("Len = %d, want %d", c.Len(), keys)
+	}
+}
+
+func TestBoundedEviction(t *testing.T) {
+	const bound = 8
+	c := New[int, int](Options{Shards: 1, MaxEntries: bound}, func(k int) uint64 { return uint64(k) })
+	for i := 0; i < 4*bound; i++ {
+		c.Do(i, func() int { return i })
+	}
+	if n := c.Len(); n > bound {
+		t.Fatalf("bounded cache holds %d entries, want <= %d", n, bound)
+	}
+	s := c.Stats()
+	if s.Evictions != 4*bound-bound {
+		t.Fatalf("evictions = %d, want %d", s.Evictions, 4*bound-bound)
+	}
+	// Every lookup still computes the right value after eviction churn.
+	for i := 0; i < 4*bound; i++ {
+		if got := c.Do(i, func() int { return i }); got != i {
+			t.Fatalf("post-eviction Do(%d) = %d", i, got)
+		}
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	// A non-power-of-two shard request must still place and find keys.
+	c := New[string, int](Options{Shards: 5}, StringHash)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		c.Do(k, func() int { return i })
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := c.Get(fmt.Sprintf("key-%d", i))
+		if !ok || v != i {
+			t.Fatalf("Get(key-%d) = %d, %t", i, v, ok)
+		}
+	}
+}
+
+func TestStringHashSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[StringHash(fmt.Sprintf("loop%04d", i))] = true
+	}
+	if len(seen) < 1000 {
+		t.Fatalf("StringHash collided on sequential names: %d distinct of 1000", len(seen))
+	}
+}
+
+// TestBoundedExactCap checks MaxEntries is honored exactly: per-shard caps
+// sum to the bound, and the shard count folds so small bounds still fill.
+func TestBoundedExactCap(t *testing.T) {
+	const bound = 20
+	c := New[string, int](Options{MaxEntries: bound}, StringHash)
+	for i := 0; i < 60; i++ {
+		c.Do(fmt.Sprintf("key-%d", i), func() int { return i })
+	}
+	if n := c.Len(); n != bound {
+		t.Fatalf("bounded cache settled at %d entries, want exactly %d", n, bound)
+	}
+}

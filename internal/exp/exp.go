@@ -6,17 +6,19 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"strings"
-	"sync"
 	"text/tabwriter"
 
+	"vliwq/internal/cache"
 	"vliwq/internal/copyins"
 	"vliwq/internal/corpus"
 	"vliwq/internal/ir"
 	"vliwq/internal/machine"
+	"vliwq/internal/pool"
 	"vliwq/internal/queue"
 	"vliwq/internal/sched"
 	"vliwq/internal/unroll"
@@ -107,15 +109,37 @@ type pipeOpts struct {
 // loop's identity plus digests of the machine configuration and pipeline
 // options. Results are shared pointers and must be treated as read-only —
 // which every experiment already does, since compiled loops, schedules and
-// allocations are never mutated after compilation.
+// allocations are never mutated after compilation. The storage is a sharded
+// internal/cache.Cache, so concurrent workers contend per shard and each
+// distinct compilation runs exactly once behind its entry's sync.Once.
 type Pipeline struct {
-	mu sync.Mutex
-	m  map[pipeKey]*pipeEntry
+	c *cache.Cache[pipeKey, compiled]
 }
 
-// NewPipeline returns an empty compilation cache.
+// NewPipeline returns an empty, unbounded compilation cache.
 func NewPipeline() *Pipeline {
-	return &Pipeline{m: make(map[pipeKey]*pipeEntry)}
+	return &Pipeline{c: cache.New[pipeKey, compiled](cache.Options{}, hashPipeKey)}
+}
+
+// Stats snapshots the cache counters (hits, misses, entries).
+func (p *Pipeline) Stats() cache.Stats { return p.c.Stats() }
+
+// hashPipeKey spreads compilations over cache shards. Loop names are unique
+// within a corpus and carry most of the entropy; the config digest and the
+// option fields keep same-loop sweeps from piling onto one shard. Equality
+// is still the full pipeKey — the hash only picks the shard.
+func hashPipeKey(k pipeKey) uint64 {
+	h := cache.StringHash(k.loop.Name)
+	h ^= cache.StringHash(k.cfg)
+	h ^= cache.StringHash(k.opts.factorFrom)
+	mix := uint64(k.opts.maxII)<<32 | uint64(uint32(k.opts.budget))<<3 | uint64(k.opts.shape)<<2
+	if k.opts.unroll {
+		mix |= 2
+	}
+	if k.opts.copies {
+		mix |= 1
+	}
+	return h ^ (mix * 1099511628211)
 }
 
 // pipeKey identifies one compilation. The loop is keyed by pointer: all
@@ -134,13 +158,6 @@ type pipeOptsKey struct {
 	shape          copyins.Shape
 	maxII, budget  int
 	factorFrom     string // configDigest of the AutoFactor machine, or ""
-}
-
-// pipeEntry computes its compilation exactly once, without holding the
-// cache-wide lock during the (comparatively expensive) compile.
-type pipeEntry struct {
-	once sync.Once
-	res  compiled
 }
 
 // configDigest renders every schedule-relevant Config field into a
@@ -171,20 +188,6 @@ func optsKey(po pipeOpts) pipeOptsKey {
 	return k
 }
 
-// do returns the memoized result for key k, computing it on first use
-// without holding the cache-wide lock during the compile.
-func (p *Pipeline) do(k pipeKey, compute func() compiled) compiled {
-	p.mu.Lock()
-	e := p.m[k]
-	if e == nil {
-		e = &pipeEntry{}
-		p.m[k] = e
-	}
-	p.mu.Unlock()
-	e.once.Do(func() { e.res = compute() })
-	return e.res
-}
-
 // compile returns the memoized compilation of (l, cfg, po), computing it on
 // first use. A nil Pipeline compiles directly. Sweeps over many loops with
 // one configuration should bind Options.compiler instead, which digests the
@@ -194,7 +197,7 @@ func (p *Pipeline) compile(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled
 		return compileLoop(l, cfg, po)
 	}
 	k := pipeKey{loop: l, cfg: configDigest(&cfg), opts: optsKey(po)}
-	return p.do(k, func() compiled { return compileLoop(l, cfg, po) })
+	return p.c.Do(k, func() compiled { return compileLoop(l, cfg, po) })
 }
 
 // compiler binds (cfg, po) and returns the per-loop compile function the
@@ -210,7 +213,7 @@ func (o Options) compiler(cfg machine.Config, po pipeOpts) func(*ir.Loop) compil
 	optsD := optsKey(po)
 	return func(l *ir.Loop) compiled {
 		k := pipeKey{loop: l, cfg: cfgD, opts: optsD}
-		return p.do(k, func() compiled { return compileLoop(l, cfg, po) })
+		return p.c.Do(k, func() compiled { return compileLoop(l, cfg, po) })
 	}
 }
 
@@ -249,35 +252,13 @@ func compileLoop(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
 	return c
 }
 
-// forEach compiles fn over the corpus with a fixed pool of workers pulling
-// loop indices from a channel, keeping result order aligned with the input
-// order. A fixed pool spawns `workers` goroutines total instead of one per
-// loop — the corpus has over a thousand loops and each experiment sweeps it
-// several times, so goroutine-per-loop churn adds up.
+// forEach compiles fn over the corpus on the shared fixed worker pool
+// (internal/pool), keeping result order aligned with the input order.
 func forEach[T any](loops []*ir.Loop, workers int, fn func(l *ir.Loop) T) []T {
 	out := make([]T, len(loops))
-	if workers > len(loops) {
-		workers = len(loops)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = fn(loops[i])
-			}
-		}()
-	}
-	for i := range loops {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	pool.Run(context.Background(), len(loops), workers, func(i int) {
+		out[i] = fn(loops[i])
+	}, nil)
 	return out
 }
 

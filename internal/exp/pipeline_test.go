@@ -102,3 +102,17 @@ func TestStandardCorpusMemoized(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineStatsCounters checks the refactored Pipeline exposes the
+// shared cache's counters: a second identical compile is a hit, not a
+// recompute.
+func TestPipelineStatsCounters(t *testing.T) {
+	p := NewPipeline()
+	l := corpus.Daxpy()
+	p.compile(l, machine.SingleCluster(4), pipeOpts{copies: true})
+	p.compile(l, machine.SingleCluster(4), pipeOpts{copies: true})
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
+	}
+}

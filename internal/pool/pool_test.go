@@ -1,0 +1,58 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 40
+		out := make([]int, n)
+		Run(context.Background(), n, workers, func(i int) { out[i] = i + 1 }, nil)
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: index %d not processed (got %d)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	Run(context.Background(), 0, 4, func(i int) { t.Fatal("fn called") }, nil)
+}
+
+func TestRunCancelledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const n = 16
+	var ran, skip atomic.Int64
+	Run(ctx, n, 2, func(i int) { ran.Add(1) }, func(i int) { skip.Add(1) })
+	// A context cancelled before Run starts must dispatch nothing: idle
+	// workers make both select cases ready, and only the explicit
+	// pre-select ctx check keeps indices out of fn.
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled run dispatched %d indices to fn", ran.Load())
+	}
+	if skip.Load() != n {
+		t.Fatalf("skipped %d of %d", skip.Load(), n)
+	}
+}
+
+func TestRunCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100
+	var ran, skip atomic.Int64
+	Run(ctx, n, 2, func(i int) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+	}, func(i int) { skip.Add(1) })
+	if got := ran.Load() + skip.Load(); got != n {
+		t.Fatalf("ran %d + skipped %d = %d, want every index accounted for (%d)", ran.Load(), skip.Load(), got, n)
+	}
+	if skip.Load() == 0 {
+		t.Fatal("cancellation mid-run skipped nothing")
+	}
+}

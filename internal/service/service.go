@@ -1,0 +1,433 @@
+// Package service implements the vliwd compilation service: a long-running
+// HTTP/JSON front end over the vliwq pipeline, backed by the shared
+// internal/cache compile cache.
+//
+// Endpoints:
+//
+//	POST /compile  one loop (text format in the JSON body) -> schedule + metrics
+//	POST /batch    a request set, compiled on a worker pool, results in input order
+//	GET  /healthz  liveness probe
+//	GET  /stats    request, scheduler and cache counters
+//
+// Compilation is deterministic, so responses are cacheable: the cache key is
+// the canonical request (machine spec, pipeline flags, loop text) and each
+// distinct request compiles exactly once per cache lifetime — concurrent
+// identical requests share one compute via the cache's per-entry sync.Once.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vliwq"
+	"vliwq/internal/cache"
+	"vliwq/internal/copyins"
+	"vliwq/internal/pool"
+)
+
+// Config tunes a Server. The zero value serves correctly — unbounded
+// cache, GOMAXPROCS batch workers, 4 MiB body cap — but a long-running
+// deployment should bound the cache: entries are keyed by client request
+// bodies, so unbounded mode grows with every distinct request (cmd/vliwd
+// defaults to a 65536-entry bound for exactly that reason).
+type Config struct {
+	// CacheEntries bounds the compile cache: 0 means unbounded, a negative
+	// value disables caching entirely (every request compiles).
+	CacheEntries int
+	// Workers bounds per-batch compile parallelism; 0 uses GOMAXPROCS.
+	Workers int
+	// MaxBatch caps the request count of one /batch call; 0 means 1024.
+	MaxBatch int
+	// MaxBodyBytes caps the request body; 0 means 4 MiB.
+	MaxBodyBytes int64
+}
+
+// CompileRequest is the JSON body of POST /compile and each element of a
+// /batch request set. Loop is the text format internal/ir documents
+// (op/carried/mem/order directives); Machine is the "single:<n>" /
+// "clustered:<n>" spec, defaulting to single:6 like the library facade.
+type CompileRequest struct {
+	Loop         string `json:"loop"`
+	Machine      string `json:"machine,omitempty"`
+	Unroll       bool   `json:"unroll,omitempty"`
+	UnrollFactor int    `json:"unroll_factor,omitempty"`
+	CopyShape    string `json:"copy_shape,omitempty"` // "tree" (default) or "chain"
+	AllowMoves   bool   `json:"allow_moves,omitempty"`
+	CommLatency  int    `json:"comm_latency,omitempty"`
+	SkipVerify   bool   `json:"skip_verify,omitempty"`
+}
+
+// CompileResponse carries the schedule and the headline metrics of one
+// compiled loop — the same numbers vliwq.Result reports, plus the rendered
+// report and kernel table.
+type CompileResponse struct {
+	Loop       string  `json:"loop"`
+	Machine    string  `json:"machine"`
+	Unrolled   int     `json:"unrolled"`
+	II         int     `json:"ii"`
+	MII        int     `json:"mii"`
+	Stages     int     `json:"stages"`
+	IPCStatic  float64 `json:"ipc_static"`
+	IPCDynamic float64 `json:"ipc_dynamic"`
+	Queues     int     `json:"queues"`
+	RingQueues int     `json:"ring_queues"`
+	Report     string  `json:"report"`
+	Kernel     string  `json:"kernel"`
+}
+
+// BatchRequest is the JSON body of POST /batch.
+type BatchRequest struct {
+	Requests []CompileRequest `json:"requests"`
+}
+
+// BatchEntry is the outcome for the request at the same index: exactly one
+// of Response and Error is set.
+type BatchEntry struct {
+	Response *CompileResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// BatchResponse is the JSON body answering POST /batch; Results[i] always
+// corresponds to Requests[i].
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+}
+
+// SchedStats aggregates scheduler outcomes across every compile the server
+// has executed (cache hits replay a previous outcome and are not recounted).
+type SchedStats struct {
+	Compiles     int64 `json:"compiles"`      // pipeline executions
+	Errors       int64 `json:"errors"`        // pipeline executions that failed
+	OpsScheduled int64 `json:"ops_scheduled"` // total ops placed (post-unroll/copies)
+	IISum        int64 `json:"ii_sum"`        // sum of achieved IIs
+}
+
+// StatsResponse is the JSON body of GET /stats.
+type StatsResponse struct {
+	UptimeSeconds   float64     `json:"uptime_seconds"`
+	GoMaxProcs      int         `json:"gomaxprocs"`
+	CompileRequests int64       `json:"compile_requests"`
+	BatchRequests   int64       `json:"batch_requests"`
+	BatchItems      int64       `json:"batch_items"`
+	RequestErrors   int64       `json:"request_errors"`
+	CacheEnabled    bool        `json:"cache_enabled"`
+	Cache           cache.Stats `json:"cache"`
+	Sched           SchedStats  `json:"sched"`
+}
+
+// outcome is the cached unit: one request's response or its error rendered
+// as a string (compilation is deterministic, so errors cache as well as
+// successes).
+type outcome struct {
+	resp *CompileResponse
+	err  string
+}
+
+// Server is the vliwd HTTP service. Create one with New; it is safe for
+// concurrent use by any number of requests.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache[string, outcome] // nil when caching is disabled
+	mux   *http.ServeMux
+	start time.Time
+
+	compileRequests atomic.Int64
+	batchRequests   atomic.Int64
+	batchItems      atomic.Int64
+	requestErrors   atomic.Int64
+
+	compiles      atomic.Int64
+	compileErrors atomic.Int64
+	opsScheduled  atomic.Int64
+	iiSum         atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, start: time.Now()}
+	if cfg.CacheEntries >= 0 {
+		s.cache = cache.New[string, outcome](
+			cache.Options{MaxEntries: cfg.CacheEntries}, cache.StringHash)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/compile", s.handleCompile)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) workers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (s *Server) maxBatch() int {
+	if s.cfg.MaxBatch > 0 {
+		return s.cfg.MaxBatch
+	}
+	return 1024
+}
+
+func (s *Server) maxBody() int64 {
+	if s.cfg.MaxBodyBytes > 0 {
+		return s.cfg.MaxBodyBytes
+	}
+	return 4 << 20
+}
+
+// buildOptions validates the request knobs and maps them onto the facade's
+// Options. The error, if any, is a client error (HTTP 400).
+func buildOptions(req *CompileRequest) (vliwq.Options, error) {
+	spec := req.Machine
+	if spec == "" {
+		spec = "single:6"
+	}
+	m, err := vliwq.ParseMachine(spec)
+	if err != nil {
+		return vliwq.Options{}, err
+	}
+	m.AllowMoves = req.AllowMoves
+	if req.CommLatency < 0 {
+		return vliwq.Options{}, fmt.Errorf("negative comm_latency %d", req.CommLatency)
+	}
+	m.CommLatency = req.CommLatency
+	// The unroll factor multiplies the loop body; unchecked it lets a
+	// four-op request allocate hundreds of millions of ops. The library's
+	// automatic choice caps at 8, so 64 is generous for a forced factor.
+	if req.UnrollFactor < 0 || req.UnrollFactor > 64 {
+		return vliwq.Options{}, fmt.Errorf("unroll_factor %d out of range [0, 64]", req.UnrollFactor)
+	}
+	opts := vliwq.Options{
+		Machine:      m,
+		Unroll:       req.Unroll,
+		UnrollFactor: req.UnrollFactor,
+		SkipVerify:   req.SkipVerify,
+	}
+	switch req.CopyShape {
+	case "", "tree":
+		opts.CopyShape = copyins.Tree
+	case "chain":
+		opts.CopyShape = copyins.Chain
+	default:
+		return vliwq.Options{}, fmt.Errorf("unknown copy_shape %q (want tree or chain)", req.CopyShape)
+	}
+	if req.Loop == "" {
+		return vliwq.Options{}, errors.New("empty loop")
+	}
+	return opts, nil
+}
+
+// cacheKey canonicalizes a request. Fields that default (machine, shape)
+// are normalized first by buildOptions validation, but the key uses the
+// raw strings plus every knob, so two requests collide only when they are
+// behaviourally identical.
+func cacheKey(req *CompileRequest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%s;u=%t;f=%d;s=%s;mv=%t;cl=%d;sv=%t;",
+		req.Machine, req.Unroll, req.UnrollFactor, req.CopyShape,
+		req.AllowMoves, req.CommLatency, req.SkipVerify)
+	b.WriteString(req.Loop)
+	return b.String()
+}
+
+// compute runs the pipeline for one validated request and renders the
+// outcome. It feeds the scheduler counters; the cached path replays the
+// outcome without recounting.
+func (s *Server) compute(ctx context.Context, req *CompileRequest, opts vliwq.Options) outcome {
+	s.compiles.Add(1)
+	loop, err := vliwq.ParseLoop(req.Loop)
+	if err != nil {
+		s.compileErrors.Add(1)
+		return outcome{err: err.Error()}
+	}
+	res, err := vliwq.CompileContext(ctx, loop, opts)
+	if err != nil {
+		s.compileErrors.Add(1)
+		return outcome{err: err.Error()}
+	}
+	s.opsScheduled.Add(int64(len(res.Sched.Loop.Ops)))
+	s.iiSum.Add(int64(res.II))
+	return outcome{resp: &CompileResponse{
+		Loop:       loop.Name,
+		Machine:    res.Sched.Machine.Name,
+		Unrolled:   res.Unrolled,
+		II:         res.II,
+		MII:        res.MII,
+		Stages:     res.StageCount,
+		IPCStatic:  res.IPCStatic,
+		IPCDynamic: res.IPCDynamic,
+		Queues:     res.Queues,
+		RingQueues: res.RingQueues,
+		Report:     res.Report(),
+		Kernel:     res.KernelSchedule(),
+	}}
+}
+
+// clientError marks a request-shape problem (HTTP 400) as opposed to a
+// loop the pipeline rejects (HTTP 422).
+type clientError struct{ error }
+
+// compileOne serves one request through the cache. Cached computes run
+// under context.Background(): the result outlives the requesting client,
+// and a cancelled first requester must not poison the shared entry with a
+// context error. Uncached computes honour the caller's context.
+func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
+	opts, err := buildOptions(req)
+	if err != nil {
+		return nil, clientError{err}
+	}
+	var oc outcome
+	if s.cache != nil {
+		oc = s.cache.Do(cacheKey(req), func() outcome {
+			return s.compute(context.Background(), req, opts)
+		})
+	} else {
+		oc = s.compute(ctx, req, opts)
+	}
+	if oc.err != "" {
+		return nil, errors.New(oc.err)
+	}
+	return oc.resp, nil
+}
+
+// compileBatch fans the request set over a fixed worker pool (pool.Run,
+// the same primitive vliwq.CompileBatch uses — the service goes through
+// compileOne instead of CompileBatch itself so batch items share the
+// response cache). Results come back in input order regardless of worker
+// interleaving; on cancellation, unstarted items report the context error.
+func (s *Server) compileBatch(ctx context.Context, reqs []CompileRequest) []BatchEntry {
+	out := make([]BatchEntry, len(reqs))
+	pool.Run(ctx, len(reqs), s.workers(), func(i int) {
+		resp, err := s.compileOne(ctx, &reqs[i])
+		if err != nil {
+			out[i] = BatchEntry{Error: err.Error()}
+		} else {
+			out[i] = BatchEntry{Response: resp}
+		}
+	}, func(i int) {
+		out[i] = BatchEntry{Error: ctx.Err().Error()}
+	})
+	return out
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.compileRequests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req CompileRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.failDecode(w, err)
+		return
+	}
+	resp, err := s.compileOne(r.Context(), &req)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		var ce clientError
+		if errors.As(err, &ce) {
+			code = http.StatusBadRequest
+		}
+		s.fail(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.batchRequests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.failDecode(w, err)
+		return
+	}
+	if len(req.Requests) > s.maxBatch() {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(req.Requests), s.maxBatch()))
+		return
+	}
+	s.batchItems.Add(int64(len(req.Requests)))
+	writeJSON(w, http.StatusOK, BatchResponse{Results: s.compileBatch(r.Context(), req.Requests)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots every counter the server maintains.
+func (s *Server) Stats() StatsResponse {
+	st := StatsResponse{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		CompileRequests: s.compileRequests.Load(),
+		BatchRequests:   s.batchRequests.Load(),
+		BatchItems:      s.batchItems.Load(),
+		RequestErrors:   s.requestErrors.Load(),
+		CacheEnabled:    s.cache != nil,
+		Sched: SchedStats{
+			Compiles:     s.compiles.Load(),
+			Errors:       s.compileErrors.Load(),
+			OpsScheduled: s.opsScheduled.Load(),
+			IISum:        s.iiSum.Load(),
+		},
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// failDecode maps a decode error onto its status: 413 when the body blew
+// the MaxBytesReader cap (the client must shrink the request, not fix its
+// JSON), 400 otherwise.
+func (s *Server) failDecode(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if mbe := (*http.MaxBytesError)(nil); errors.As(err, &mbe) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	s.fail(w, code, err.Error())
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.requestErrors.Add(1)
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -19,14 +19,18 @@
 package vliwq
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"vliwq/internal/copyins"
 	"vliwq/internal/ir"
 	"vliwq/internal/machine"
 	"vliwq/internal/metrics"
+	"vliwq/internal/pool"
 	"vliwq/internal/queue"
 	"vliwq/internal/sched"
 	"vliwq/internal/sim"
@@ -52,6 +56,40 @@ func Clustered(n int) Machine { return machine.Clustered(n) }
 // ParseLoop reads a loop in the text format (see internal/ir: `op`,
 // `carried`, `mem`, `order` directives).
 func ParseLoop(src string) (*Loop, error) { return ir.ParseString(src) }
+
+// FormatLoop renders a loop back into the text format ParseLoop reads.
+func FormatLoop(l *Loop) string { return ir.FormatString(l) }
+
+// MaxMachineSize caps the size argument ParseMachine accepts. The paper's
+// machines top out at 18 FUs / 6 clusters; the cap is generous headroom
+// that still keeps a hostile spec ("clustered:500000000", which would
+// allocate the cluster array before any compile starts) from sizing
+// allocations — ParseMachine is the service's trust boundary.
+const MaxMachineSize = 512
+
+// ParseMachine parses a machine spec of the form "single:<fus>" or
+// "clustered:<clusters>" — the notation cmd/vliwsched, cmd/vliwload and the
+// vliwd service share.
+func ParseMachine(spec string) (Machine, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return Machine{}, fmt.Errorf("bad machine spec %q (want single:<n> or clustered:<n>)", spec)
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return Machine{}, fmt.Errorf("bad machine size %q", arg)
+	}
+	if n > MaxMachineSize {
+		return Machine{}, fmt.Errorf("machine size %d exceeds the %d limit", n, MaxMachineSize)
+	}
+	switch kind {
+	case "single":
+		return SingleCluster(n), nil
+	case "clustered":
+		return Clustered(n), nil
+	}
+	return Machine{}, fmt.Errorf("unknown machine kind %q", kind)
+}
 
 // ReadLoop reads a loop in the text format from r.
 func ReadLoop(r io.Reader) (*Loop, error) { return ir.Parse(r) }
@@ -102,8 +140,20 @@ type Result struct {
 // verification against sequential execution on the cycle-accurate QRF
 // simulator.
 func Compile(l *Loop, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), l, opts)
+}
+
+// CompileContext is Compile with cancellation: the context is checked
+// between pipeline stages, so a cancelled request abandons the remaining
+// (scheduling, allocation, verification) work and returns ctx.Err(). Long
+// batch runs — the service's /batch endpoint, CompileBatch — rely on this
+// to stop promptly when the client goes away.
+func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error) {
 	if l == nil {
 		return nil, fmt.Errorf("vliwq: nil loop")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	cfg := opts.Machine
 	if cfg.NumClusters() == 0 {
@@ -133,6 +183,9 @@ func Compile(l *Loop, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	s, err := sched.ScheduleLoop(ins.Loop, cfg, opts.Sched)
 	if err != nil {
@@ -146,6 +199,9 @@ func Compile(l *Loop, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("vliwq: internal error: %w", err)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !opts.SkipVerify {
 		n := opts.VerifyIterations
 		if n <= 0 {
@@ -177,6 +233,39 @@ func Compile(l *Loop, opts Options) (*Result, error) {
 		Queues:     alloc.MaxPrivateQueues(),
 		RingQueues: alloc.MaxRingQueues(),
 	}, nil
+}
+
+// BatchItem is one compilation request in a CompileBatch call.
+type BatchItem struct {
+	Loop *Loop
+	Opts Options
+}
+
+// BatchResult is the outcome for the BatchItem at the same index: exactly
+// one of Result and Err is set.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// CompileBatch compiles every item on a fixed pool of workers (pool.Run)
+// and returns the results in input order: out[i] always corresponds to
+// items[i], whatever the worker interleaving. workers <= 0 selects
+// GOMAXPROCS. When ctx is cancelled, in-flight compilations stop at their
+// next stage boundary and every unstarted item reports ctx.Err(); the
+// returned slice always has len(items) entries.
+func CompileBatch(ctx context.Context, items []BatchItem, workers int) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool.Run(ctx, len(items), workers, func(i int) {
+		r, err := CompileContext(ctx, items[i].Loop, items[i].Opts)
+		out[i] = BatchResult{Result: r, Err: err}
+	}, func(i int) {
+		out[i] = BatchResult{Err: ctx.Err()}
+	})
+	return out
 }
 
 // Report renders a human-readable summary of the compiled loop.

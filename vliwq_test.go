@@ -1,6 +1,8 @@
 package vliwq_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -111,5 +113,118 @@ func TestReadLoop(t *testing.T) {
 	}
 	if l.Name != "fir2" || len(l.Ops) != 8 {
 		t.Fatalf("parsed %s with %d ops", l.Name, len(l.Ops))
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	tests := []struct {
+		spec     string
+		clusters int
+		wantErr  bool
+	}{
+		{"single:6", 1, false},
+		{"clustered:4", 4, false},
+		{"single:0", 0, true},
+		{"single:x", 0, true},
+		{"torus:4", 0, true},
+		{"single", 0, true},
+		// Sizes are bounded so a hostile spec cannot size allocations.
+		{"clustered:500000000", 0, true},
+		{"single:513", 0, true},
+		{"clustered:512", 512, false},
+	}
+	for _, tt := range tests {
+		m, err := vliwq.ParseMachine(tt.spec)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseMachine(%q) err = %v, wantErr %t", tt.spec, err, tt.wantErr)
+			continue
+		}
+		if err == nil && m.NumClusters() != tt.clusters {
+			t.Errorf("ParseMachine(%q) = %d clusters, want %d", tt.spec, m.NumClusters(), tt.clusters)
+		}
+	}
+}
+
+func TestFormatLoopRoundTrips(t *testing.T) {
+	loop := corpus.KernelByName("daxpy")
+	back, err := vliwq.ParseLoop(vliwq.FormatLoop(loop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != loop.Name || len(back.Ops) != len(loop.Ops) {
+		t.Fatalf("round trip changed the loop: %s/%d ops vs %s/%d ops",
+			back.Name, len(back.Ops), loop.Name, len(loop.Ops))
+	}
+}
+
+// TestCompileBatchMatchesCompile is the batch API's ordering and fidelity
+// contract: results arrive at the index of their request and are identical
+// to one-at-a-time Compile calls.
+func TestCompileBatchMatchesCompile(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 5, N: 12})
+	items := make([]vliwq.BatchItem, len(loops))
+	opts := vliwq.Options{Machine: vliwq.Clustered(4), Unroll: true, SkipVerify: true}
+	for i, l := range loops {
+		items[i] = vliwq.BatchItem{Loop: l, Opts: opts}
+	}
+	got := vliwq.CompileBatch(context.Background(), items, 4)
+	if len(got) != len(items) {
+		t.Fatalf("batch returned %d results for %d items", len(got), len(items))
+	}
+	for i, l := range loops {
+		want, wantErr := vliwq.Compile(l, opts)
+		if (got[i].Err != nil) != (wantErr != nil) {
+			t.Fatalf("item %d: batch err %v, direct err %v", i, got[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got[i].Result.Input != l {
+			t.Fatalf("item %d: result is for the wrong loop", i)
+		}
+		if got[i].Result.Report() != want.Report() {
+			t.Fatalf("item %d: batch report differs from direct compile:\n%s\nvs\n%s",
+				i, got[i].Result.Report(), want.Report())
+		}
+	}
+}
+
+func TestCompileBatchEmptyAndWorkerClamp(t *testing.T) {
+	if out := vliwq.CompileBatch(context.Background(), nil, 4); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+	// More workers than items must not deadlock or drop results.
+	items := []vliwq.BatchItem{{Loop: corpus.KernelByName("daxpy"), Opts: vliwq.Options{SkipVerify: true}}}
+	out := vliwq.CompileBatch(context.Background(), items, 64)
+	if len(out) != 1 || out[0].Err != nil {
+		t.Fatalf("single-item batch: %+v", out)
+	}
+}
+
+func TestCompileBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any work starts
+	loops := corpus.Generate(corpus.Params{Seed: 3, N: 8})
+	items := make([]vliwq.BatchItem, len(loops))
+	for i, l := range loops {
+		items[i] = vliwq.BatchItem{Loop: l, Opts: vliwq.Options{SkipVerify: true}}
+	}
+	out := vliwq.CompileBatch(ctx, items, 2)
+	if len(out) != len(items) {
+		t.Fatalf("cancelled batch returned %d results for %d items", len(out), len(items))
+	}
+	for i, r := range out {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("item %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestCompileContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := vliwq.CompileContext(ctx, corpus.KernelByName("daxpy"), vliwq.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
