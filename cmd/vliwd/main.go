@@ -6,9 +6,16 @@
 //
 //	vliwd                          # serve on :8391, cache bounded at 64Ki entries
 //	vliwd -addr 127.0.0.1:9000 -cache-entries 4096
+//	vliwd -cache-snapshot /var/lib/vliwd/cache.snap   # warm-start + persist
+//
+// With -cache-snapshot the daemon loads the snapshot on boot (a missing
+// file is a normal cold start; a corrupt one is logged and skipped) and
+// persists the cache to the same path on graceful shutdown, so a restarted
+// backend serves its first repeated request as a cache hit.
 //
 // Endpoints: POST /compile, POST /batch, GET /healthz, GET /stats. Drive it
-// with cmd/vliwload or curl; see the README's "Serving" quickstart.
+// with cmd/vliwload or curl — directly or behind the cmd/vliwgate sharding
+// gateway; see the README's "Serving" and "Scaling out" quickstarts.
 package main
 
 import (
@@ -17,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -37,15 +46,20 @@ func main() {
 // ready is non-nil it receives the bound address once the listener is up —
 // the hook the tests (and -addr :0) use.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
-	fs := flag.NewFlagSet("vliwd", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	flags := flag.NewFlagSet("vliwd", flag.ContinueOnError)
+	flags.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":8391", "listen address")
-		entries = fs.Int("cache-entries", 65536, "compile cache bound (0 = unbounded, negative disables caching)")
-		workers = fs.Int("workers", 0, "per-batch compile workers (0 = GOMAXPROCS)")
-		batch   = fs.Int("max-batch", 0, "max requests per /batch call (0 = 1024)")
+		addr     = flags.String("addr", ":8391", "listen address")
+		entries  = flags.Int("cache-entries", 65536, "compile cache bound (0 = unbounded, negative disables caching)")
+		workers  = flags.Int("workers", 0, "per-batch compile workers (0 = GOMAXPROCS)")
+		batch    = flags.Int("max-batch", 0, "max requests per /batch call (0 = 1024)")
+		snapshot = flags.String("cache-snapshot", "", "snapshot file: warm-start the cache on boot, persist it on shutdown")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *snapshot != "" && *entries < 0 {
+		fmt.Fprintln(stderr, "vliwd: -cache-snapshot needs caching enabled (-cache-entries >= 0)")
 		return 2
 	}
 	srv := service.New(service.Config{
@@ -53,6 +67,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		Workers:      *workers,
 		MaxBatch:     *batch,
 	})
+	if *snapshot != "" {
+		if err := warmStart(srv, *snapshot, stdout); err != nil {
+			// A bad snapshot must not keep the daemon down: log and serve cold.
+			fmt.Fprintln(stderr, "vliwd: cache snapshot:", err)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "vliwd:", err)
@@ -78,8 +98,58 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		fmt.Fprintln(stderr, "vliwd: shutdown:", err)
 		return 1
 	}
+	if *snapshot != "" {
+		if err := saveSnapshot(srv, *snapshot, stdout); err != nil {
+			fmt.Fprintln(stderr, "vliwd: cache snapshot:", err)
+			return 1
+		}
+	}
 	st := srv.Stats()
 	fmt.Fprintf(stdout, "vliwd: served %d compile + %d batch requests (%d cache hits), shutting down\n",
 		st.CompileRequests, st.BatchRequests, st.Cache.Hits)
 	return 0
+}
+
+// warmStart loads the compile cache from path. A missing file is a normal
+// cold start, not an error.
+func warmStart(srv *service.Server, path string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Fprintf(stdout, "vliwd: no cache snapshot at %s, starting cold\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := srv.LoadCache(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "vliwd: warm start: %d cache entries from %s\n", n, path)
+	return nil
+}
+
+// saveSnapshot persists the compile cache to path via a temp file and
+// rename, so a crash mid-write can never leave a truncated snapshot where
+// the next boot expects a good one.
+func saveSnapshot(srv *service.Server, path string, stdout io.Writer) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	n, err := srv.SaveCache(tmp)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "vliwd: saved %d cache entries to %s\n", n, path)
+	return nil
 }

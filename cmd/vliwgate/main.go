@@ -1,0 +1,105 @@
+// Command vliwgate is the cache-aware sharding gateway: it fronts N vliwd
+// backends and routes every compile request by a stable hash of its
+// canonical key, so identical requests always land on the backend whose
+// cache already holds them (internal/gateway documents the routing rule
+// and its relation to the paper's ring partitioning).
+//
+// Usage:
+//
+//	vliwgate -backends http://10.0.0.1:8391,http://10.0.0.2:8391
+//	vliwgate -addr :8390 -backends ... -retries 2
+//
+// Endpoints mirror vliwd: POST /compile and /batch are routed, GET
+// /healthz probes every backend, GET /stats aggregates fleet counters.
+// Drive it exactly like a single vliwd — cmd/vliwload reports per-backend
+// distribution when pointed at a gateway.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vliwq/internal/gateway"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run serves until ctx is cancelled and returns the process exit code. When
+// ready is non-nil it receives the bound address once the listener is up —
+// the hook the tests (and -addr :0) use.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("vliwgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8390", "listen address")
+		backends = fs.String("backends", "", "comma-separated vliwd base URLs, in ring order (required)")
+		retries  = fs.Int("retries", 0, "ring-adjacent failover attempts per request (0 = 1, negative disables)")
+		timeout  = fs.Duration("timeout", 60*time.Second, "per-backend-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(stderr, "vliwgate: -backends is required (comma-separated vliwd URLs)")
+		return 2
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends: urls,
+		Retries:  *retries,
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "vliwgate:", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "vliwgate:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "vliwgate: listening on %s, %d backends: %s\n",
+		ln.Addr(), len(urls), strings.Join(urls, " "))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		fmt.Fprintln(stderr, "vliwgate:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "vliwgate: shutdown:", err)
+		return 1
+	}
+	st := gw.Stats(context.Background())
+	fmt.Fprintf(stdout, "vliwgate: routed %d compile + %d batch requests across %d backends, shutting down\n",
+		st.CompileRequests, st.BatchRequests, st.BackendCount)
+	return 0
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vliwq"
+	"vliwq/internal/corpus"
+	"vliwq/internal/gateway"
+	"vliwq/internal/service"
+)
+
+// TestRunRoutesAndShutsDown boots two in-process backends and the gateway
+// daemon on an ephemeral port, drives a compile through it, checks the
+// aggregated stats shape, and exercises the graceful-shutdown path.
+func TestRunRoutesAndShutsDown(t *testing.T) {
+	b1 := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer b1.Close()
+	b2 := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer b2.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-backends", b1.URL + "," + b2.URL},
+			&stdout, &stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("gateway never became ready; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+
+	body, _ := json.Marshal(service.CompileRequest{
+		Loop:    vliwq.FormatLoop(corpus.KernelByName("daxpy")),
+		Machine: "clustered:4",
+	})
+	resp, err := http.Post(base+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr service.CompileResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile through gateway: status %d, err %v", resp.StatusCode, err)
+	}
+	if cr.Loop != "daxpy" || cr.II < 1 {
+		t.Fatalf("compile response: %+v", cr)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st gateway.StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BackendCount != 2 || len(st.Backends) != 2 || st.CompileRequests != 1 {
+		t.Fatalf("gateway stats: %+v", st)
+	}
+	if st.Backends[0].Served+st.Backends[1].Served != 1 {
+		t.Fatalf("exactly one backend should have served: %+v", st.Backends)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway did not shut down")
+	}
+	if !strings.Contains(stdout.String(), "listening on") || !strings.Contains(stdout.String(), "shutting down") {
+		t.Fatalf("stdout missing lifecycle lines:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("bad flag exit code %d, want 2", code)
+	}
+	if code := run(context.Background(), nil, &stdout, &stderr, nil); code != 2 {
+		t.Fatalf("missing -backends exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-backends is required") {
+		t.Fatalf("stderr missing the -backends hint:\n%s", stderr.String())
+	}
+	if code := run(context.Background(), []string{"-backends", "http://x", "-addr", "256.0.0.1:bad"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("bad addr exit code %d, want 1", code)
+	}
+}

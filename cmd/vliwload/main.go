@@ -1,12 +1,20 @@
-// Command vliwload load-tests a running vliwd: it replays corpus loops
-// against /compile (or /batch) at a fixed concurrency for a fixed duration
-// and reports throughput and latency percentiles, plus the server's own
-// /stats counters.
+// Command vliwload load-tests a running vliwd — or a vliwgate fleet: it
+// replays corpus loops against /compile (or /batch) at a fixed concurrency
+// for a fixed duration and reports throughput, latency percentiles and an
+// error breakdown, plus the server's own /stats counters. Pointed at a
+// gateway it also prints the per-backend request distribution, which is
+// how CI checks the hash ring actually shards.
+//
+// Any failed request — transport error, non-200 status, or a failed /batch
+// entry — is counted, reported on a dedicated "errors:" line, and turns
+// the exit status non-zero, so e2e pipelines cannot mistake a half-broken
+// run for a green one.
 //
 // Usage:
 //
 //	vliwload -addr http://127.0.0.1:8391 -duration 5s -concurrency 8
 //	vliwload -addr http://127.0.0.1:8391 -batch 16 -machine clustered:4
+//	vliwload -addr http://127.0.0.1:8390   # a vliwgate: adds distribution
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 
 	"vliwq"
 	"vliwq/internal/corpus"
+	"vliwq/internal/gateway"
 	"vliwq/internal/service"
 )
 
@@ -78,13 +87,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var (
-		next     atomic.Int64
-		failures atomic.Int64
-		loopsOK  atomic.Int64
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		lats     []time.Duration
+		next      atomic.Int64
+		transport atomic.Int64 // connection/timeout errors
+		httpBad   atomic.Int64 // non-200 statuses
+		entryBad  atomic.Int64 // failed /batch entries inside 200 answers
+		loopsOK   atomic.Int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		lats      []time.Duration
 	)
+	failed := func() int64 { return transport.Load() + httpBad.Load() + entryBad.Load() }
 	start := time.Now()
 	deadline := start.Add(*duration)
 	for w := 0; w < *concurrency; w++ {
@@ -97,21 +109,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 				t0 := time.Now()
 				resp, err := client.Post(path, "application/json", bytes.NewReader(b.data))
 				if err != nil {
-					failures.Add(1)
+					transport.Add(1)
 					continue
 				}
 				if resp.StatusCode != http.StatusOK {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
-					failures.Add(1)
+					httpBad.Add(1)
 					continue
 				}
 				// /batch answers 200 even when individual entries fail, so
 				// per-entry errors count as failed loops, not green calls.
-				ok, failed := countLoops(resp.Body, b.loops, *batch > 0)
+				ok, bad := countLoops(resp.Body, b.loops, *batch > 0)
 				resp.Body.Close()
 				loopsOK.Add(int64(ok))
-				failures.Add(int64(failed))
+				entryBad.Add(int64(bad))
 				mine = append(mine, time.Since(t0))
 			}
 			mu.Lock()
@@ -125,29 +137,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 	elapsed := time.Since(start)
 
 	if len(lats) == 0 {
-		fmt.Fprintf(stderr, "vliwload: no successful requests against %s (%d failures)\n", path, failures.Load())
+		fmt.Fprintf(stderr, "vliwload: no successful requests against %s (%d failures)\n", path, failed())
 		return 1
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pick := func(q float64) time.Duration { return lats[int(q*float64(len(lats)-1))] }
 	fmt.Fprintf(stdout, "vliwload: %d calls (%d loops compiled) in %s, %d failures\n",
-		len(lats), loopsOK.Load(), elapsed.Round(time.Millisecond), failures.Load())
+		len(lats), loopsOK.Load(), elapsed.Round(time.Millisecond), failed())
 	fmt.Fprintf(stdout, "throughput: %.1f calls/s (%.1f loops/s)\n",
 		float64(len(lats))/elapsed.Seconds(), float64(loopsOK.Load())/elapsed.Seconds())
 	fmt.Fprintf(stdout, "latency: p50=%s p90=%s p99=%s max=%s\n",
 		pick(0.50).Round(time.Microsecond), pick(0.90).Round(time.Microsecond),
 		pick(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	fmt.Fprintf(stdout, "errors: %d (transport=%d http=%d entries=%d)\n",
+		failed(), transport.Load(), httpBad.Load(), entryBad.Load())
 
-	if st, err := fetchStats(client, base); err == nil {
-		fmt.Fprintf(stdout, "server: %d compiles, cache hits=%d misses=%d entries=%d\n",
-			st.Sched.Compiles, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
-	} else {
-		fmt.Fprintln(stderr, "vliwload: stats:", err)
-	}
-	if failures.Load() > 0 {
+	reportStats(client, base, stdout, stderr)
+	if failed() > 0 {
+		fmt.Fprintf(stderr, "vliwload: %d requests failed\n", failed())
 		return 1
 	}
 	return 0
+}
+
+// reportStats fetches /stats and prints the server's own counters. A
+// gateway answer (recognized by its backend list) additionally prints the
+// per-backend request distribution and each backend's cache counters.
+func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
+	data, err := fetchStats(client, base)
+	if err != nil {
+		fmt.Fprintln(stderr, "vliwload: stats:", err)
+		return
+	}
+	var gst gateway.StatsResponse
+	if json.Unmarshal(data, &gst) == nil && gst.BackendCount > 0 {
+		fmt.Fprintf(stdout, "gateway: %d backends, %d compiles, cache hits=%d misses=%d entries=%d\n",
+			gst.BackendCount, gst.TotalSched.Compiles,
+			gst.TotalCache.Hits, gst.TotalCache.Misses, gst.TotalCache.Entries)
+		var total int64
+		for _, b := range gst.Backends {
+			total += b.Served
+		}
+		for _, b := range gst.Backends {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(b.Served) / float64(total)
+			}
+			health := "up"
+			if !b.Healthy {
+				health = "down"
+			}
+			fmt.Fprintf(stdout, "backend %s: %s, served=%d (%.1f%%) owned=%d failovers=%d hits=%d misses=%d\n",
+				b.URL, health, b.Served, share, b.Owned, b.Failovers, b.Cache.Hits, b.Cache.Misses)
+		}
+		return
+	}
+	var st service.StatsResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		fmt.Fprintln(stderr, "vliwload: stats:", err)
+		return
+	}
+	fmt.Fprintf(stdout, "server: %d compiles, cache hits=%d misses=%d entries=%d\n",
+		st.Sched.Compiles, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
 }
 
 // countLoops drains one response body and splits the call's loops into
@@ -220,15 +271,17 @@ func buildBodies(n int, seed int64, machineSpec string, unroll, skipVerify bool,
 	return bodies, nil
 }
 
-func fetchStats(client *http.Client, base string) (*service.StatsResponse, error) {
+// fetchStats returns the raw /stats body; the caller decides whether it
+// came from a single vliwd or a gateway.
+func fetchStats(client *http.Client, base string) ([]byte, error) {
 	resp, err := client.Get(base + "/stats")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	var st service.StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, err
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("/stats status %d", resp.StatusCode)
 	}
-	return &st, nil
+	return io.ReadAll(resp.Body)
 }

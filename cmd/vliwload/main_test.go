@@ -9,8 +9,44 @@ import (
 	"strings"
 	"testing"
 
+	"vliwq/internal/gateway"
 	"vliwq/internal/service"
 )
+
+// TestRunAgainstGateway points the tool at a vliwgate fleet and checks the
+// report adds the aggregated totals and the per-backend distribution.
+func TestRunAgainstGateway(t *testing.T) {
+	b1 := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer b1.Close()
+	b2 := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer b2.Close()
+	gw, err := gateway.New(gateway.Config{Backends: []string{b1.URL, b2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-duration", "300ms", "-concurrency", "4", "-n", "16",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, frag := range []string{
+		"errors: 0 ",
+		"gateway: 2 backends",
+		"backend " + b1.URL,
+		"backend " + b2.URL,
+		"%)", // the distribution shares
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("gateway report missing %q:\n%s", frag, out)
+		}
+	}
+}
 
 // TestRunAgainstService drives a real in-process service and checks the
 // report: the tool must complete requests, print throughput and latency
@@ -107,5 +143,11 @@ func TestRunBatchSurfacesEntryErrors(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "(0 loops compiled)") {
 		t.Fatalf("report counts failed entries as compiled:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "errors: ") || strings.Contains(stdout.String(), "errors: 0 ") {
+		t.Fatalf("report missing a non-zero errors line:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "requests failed") {
+		t.Fatalf("stderr missing the failure summary:\n%s", stderr.String())
 	}
 }

@@ -9,6 +9,11 @@
 // block on it instead of duplicating the (comparatively expensive) work.
 // Hit, miss and eviction counters are maintained for observability; a
 // bounded-size mode caps the entry count with random replacement.
+//
+// Completed entries can be persisted and restored across process restarts
+// via Save/Load (snapshot.go): a versioned, checksummed, deterministic
+// binary format with caller-supplied key/value codecs, which is what lets
+// vliwd warm-start its compile cache from disk.
 package cache
 
 import (

@@ -1,0 +1,570 @@
+// Package gateway implements the vliwgate sharding proxy: a cache-aware
+// router in front of N vliwd backends.
+//
+// Compilation is deterministic and every backend caches whole responses
+// under the canonical request key (service.CanonicalKey), so the win is not
+// load spreading alone — it is cache affinity. The gateway hashes the
+// canonical key (FNV-1a, then a splitmix64 finalizer so the routing
+// decision is decorrelated from the backend cache's own shard selection)
+// and routes each request to backends[hash % N]; identical requests
+// therefore always land on the backend that already holds the entry, and
+// the fleet's aggregate cache behaves like one cache N times the size with
+// no invalidation protocol at all. The layout deliberately mirrors the paper's clustered
+// machine: backends are clusters, the hash is the partitioning rule, and
+// failover moves work to the ring-adjacent neighbour only — the same
+// locality discipline the scheduler applies to values crossing clusters.
+//
+// Endpoints mirror the backend surface: POST /compile and POST /batch are
+// routed (a batch is split per owning backend and reassembled in input
+// order), GET /healthz probes every backend, GET /stats aggregates backend
+// cache and scheduler counters with per-backend routing totals.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vliwq/internal/cache"
+	"vliwq/internal/service"
+)
+
+// Config tunes a Gateway. Backends is required; everything else defaults.
+type Config struct {
+	// Backends are the vliwd base URLs, e.g. "http://10.0.0.1:8391". Order
+	// matters: it fixes the hash ring, so every gateway replica must list
+	// the same backends in the same order to route identically.
+	Backends []string
+	// Retries is how many ring-adjacent neighbours to try after the owning
+	// backend fails (transport error or 5xx). 0 means 1; negative disables
+	// failover. Capped at len(Backends)-1 — there is no one left after a
+	// full lap.
+	Retries int
+	// Client issues backend requests; nil uses a client with pooled
+	// per-host connections and Timeout as its overall timeout. Supplying
+	// a Client is for tests — production callers should prefer Timeout so
+	// they keep the tuned transport.
+	Client *http.Client
+	// Timeout bounds one backend request when Client is nil; 0 means 60 s.
+	Timeout time.Duration
+	// MaxBodyBytes caps an incoming request body; 0 means 8 MiB (the
+	// gateway fronts /batch, so it allows more than one backend request).
+	MaxBodyBytes int64
+	// MaxBatch caps the request count of one /batch call before it is
+	// split, mirroring the backend limit so the gateway answers 413 the
+	// same way a single vliwd would; 0 means 1024.
+	MaxBatch int
+}
+
+// backend is one ring slot: the base URL plus the routing counters /stats
+// reports.
+type backend struct {
+	url       string
+	owned     atomic.Int64 // requests this backend owns by hash
+	served    atomic.Int64 // requests it actually answered (batch entries count singly)
+	failovers atomic.Int64 // answers it gave for a neighbour's key
+	errors    atomic.Int64 // attempts that failed (transport or 5xx)
+}
+
+// Gateway is the sharding proxy. Create one with New; it is safe for
+// concurrent use.
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	client   *http.Client
+	mux      *http.ServeMux
+	start    time.Time
+
+	compileRequests atomic.Int64
+	batchRequests   atomic.Int64
+	batchItems      atomic.Int64
+	requestErrors   atomic.Int64
+}
+
+// New builds a Gateway over cfg.Backends.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	g := &Gateway{cfg: cfg, client: cfg.Client, start: time.Now()}
+	for _, u := range cfg.Backends {
+		if u == "" {
+			return nil, errors.New("gateway: empty backend URL")
+		}
+		g.backends = append(g.backends, &backend{url: u})
+	}
+	if g.client == nil {
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 60 * time.Second
+		}
+		g.client = &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 16,
+			},
+		}
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("/compile", g.handleCompile)
+	g.mux.HandleFunc("/batch", g.handleBatch)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/stats", g.handleStats)
+	return g, nil
+}
+
+// Handler returns the root handler for an http.Server.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// retries resolves Config.Retries against the ring size.
+func (g *Gateway) retries() int {
+	r := g.cfg.Retries
+	if r == 0 {
+		r = 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if max := len(g.backends) - 1; r > max {
+		r = max
+	}
+	return r
+}
+
+func (g *Gateway) maxBody() int64 {
+	if g.cfg.MaxBodyBytes > 0 {
+		return g.cfg.MaxBodyBytes
+	}
+	return 8 << 20
+}
+
+func (g *Gateway) maxBatch() int {
+	if g.cfg.MaxBatch > 0 {
+		return g.cfg.MaxBatch
+	}
+	return service.DefaultMaxBatch
+}
+
+// Route reports the ring slot owning one compile request: a stable mix of
+// the canonical key's FNV-1a hash, modulo the ring size. This is the whole
+// routing rule — no state, no coordination; determinism is what makes the
+// sharded caches effective.
+//
+// The mix step matters: the backend cache selects its internal shard from
+// the low bits of the same FNV-1a hash, so routing on the raw hash would
+// hand each backend a residue class of keys that exercises only a fraction
+// of its shards (with N backends = the shard count, exactly one). The
+// splitmix64 finalizer decorrelates the two decisions.
+func (g *Gateway) Route(req *service.CompileRequest) int {
+	return int(mix64(cache.StringHash(service.CanonicalKey(req))) % uint64(len(g.backends)))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche so every
+// output bit depends on every input bit.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// retryable reports whether an attempt outcome should move to the
+// ring-adjacent backend: transport errors and 5xx mean "this backend is
+// unhealthy", while 2xx–4xx (including 422 compile rejections) are
+// authoritative answers — compilation is deterministic, so a neighbour
+// would only repeat them.
+func retryable(status int, err error) bool {
+	return err != nil || status >= 500
+}
+
+// forward POSTs body to one backend path and returns the raw response.
+func (g *Gateway) forward(ctx context.Context, b *backend, path string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// dispatch sends body to the owner's slot, walking the ring on retryable
+// failures, and returns the first authoritative answer; when every attempt
+// fails it returns the last error. weight is how many compile requests the
+// body represents (1 for /compile, the sub-batch size for /batch) so the
+// owned/served/failover counters measure work, not call counts.
+func (g *Gateway) dispatch(ctx context.Context, owner int, path string, body []byte, weight int) (int, http.Header, []byte, error) {
+	g.backends[owner].owned.Add(int64(weight))
+	var lastErr error
+	for hop := 0; hop <= g.retries(); hop++ {
+		slot := (owner + hop) % len(g.backends)
+		b := g.backends[slot]
+		status, hdr, data, err := g.forward(ctx, b, path, body)
+		if retryable(status, err) {
+			// A cancelled client is not a sick backend: stop without
+			// polluting the error counters or burning a doomed hop.
+			if ctx.Err() != nil {
+				return 0, nil, nil, ctx.Err()
+			}
+			b.errors.Add(1)
+			if err == nil {
+				err = fmt.Errorf("backend %s: status %d", b.url, status)
+			}
+			lastErr = err
+			continue
+		}
+		b.served.Add(int64(weight))
+		if hop > 0 {
+			b.failovers.Add(int64(weight))
+		}
+		return status, hdr, data, nil
+	}
+	return 0, nil, nil, fmt.Errorf("all %d backend attempts failed, last: %w", g.retries()+1, lastErr)
+}
+
+// handleCompile routes one request by its canonical key and relays the
+// owning backend's answer verbatim — status, content type and body bytes —
+// so a response through the gateway is indistinguishable from one straight
+// off the backend.
+func (g *Gateway) handleCompile(w http.ResponseWriter, r *http.Request) {
+	g.compileRequests.Add(1)
+	if r.Method != http.MethodPost {
+		g.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody()))
+	if err != nil {
+		g.failRead(w, err)
+		return
+	}
+	var req service.CompileRequest
+	if err := strictUnmarshal(body, &req); err != nil {
+		g.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	status, hdr, data, err := g.dispatch(r.Context(), g.Route(&req), "/compile", body, 1)
+	if err != nil {
+		g.fail(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	relay(w, status, hdr, data)
+}
+
+// handleBatch splits a batch by owning backend, forwards the per-backend
+// sub-batches concurrently, and reassembles the entries in input order.
+// Entries whose sub-batch exhausted its ring walk carry the transport
+// error; everything else is the backend's JSON verbatim.
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	g.batchRequests.Add(1)
+	if r.Method != http.MethodPost {
+		g.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody()))
+	if err != nil {
+		g.failRead(w, err)
+		return
+	}
+	var req service.BatchRequest
+	if err := strictUnmarshal(body, &req); err != nil {
+		g.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Requests) > g.maxBatch() {
+		g.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(req.Requests), g.maxBatch()))
+		return
+	}
+	g.batchItems.Add(int64(len(req.Requests)))
+
+	// Group item indices by owning slot, preserving input order per group.
+	groups := make(map[int][]int)
+	for i := range req.Requests {
+		owner := g.Route(&req.Requests[i])
+		groups[owner] = append(groups[owner], i)
+	}
+	results := make([]json.RawMessage, len(req.Requests))
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(owner int, idxs []int) {
+			defer wg.Done()
+			sub := service.BatchRequest{Requests: make([]service.CompileRequest, len(idxs))}
+			for j, i := range idxs {
+				sub.Requests[j] = req.Requests[i]
+			}
+			subBody, err := json.Marshal(sub)
+			if err != nil {
+				g.fillErrors(results, idxs, err.Error())
+				return
+			}
+			status, _, data, err := g.dispatch(r.Context(), owner, "/batch", subBody, len(idxs))
+			if err != nil {
+				g.fillErrors(results, idxs, err.Error())
+				return
+			}
+			var br rawBatchResponse
+			if status != http.StatusOK || json.Unmarshal(data, &br) != nil || len(br.Results) != len(idxs) {
+				g.fillErrors(results, idxs, fmt.Sprintf("backend /batch answered status %d with an unusable body", status))
+				return
+			}
+			for j, i := range idxs {
+				results[i] = br.Results[j]
+			}
+		}(owner, idxs)
+	}
+	wg.Wait()
+	writeRawBatch(w, results)
+}
+
+// rawBatchResponse decodes a backend batch answer without re-interpreting
+// the entries, so the gateway relays each entry's bytes untouched.
+type rawBatchResponse struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// fillErrors stamps a batch error entry onto every index of a failed group.
+func (g *Gateway) fillErrors(results []json.RawMessage, idxs []int, msg string) {
+	entry, _ := json.Marshal(service.BatchEntry{Error: msg})
+	for _, i := range idxs {
+		results[i] = entry
+	}
+}
+
+// BackendHealth is one backend's probe result inside a /healthz answer.
+type BackendHealth struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// HealthResponse is the JSON body of GET /healthz: "ok" while at least one
+// backend answers its own /healthz, "degraded" when some do not (the ring
+// still serves via failover), and HTTP 503 when none do.
+type HealthResponse struct {
+	Status   string          `json:"status"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hr := HealthResponse{Backends: make([]BackendHealth, len(g.backends))}
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			hr.Backends[i] = g.probe(ctx, b)
+		}(i, b)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, h := range hr.Backends {
+		if h.Healthy {
+			healthy++
+		}
+	}
+	status := http.StatusOK
+	switch {
+	case healthy == len(hr.Backends):
+		hr.Status = "ok"
+	case healthy > 0:
+		hr.Status = "degraded"
+	default:
+		hr.Status = "down"
+		status = http.StatusServiceUnavailable
+	}
+	service.WriteJSON(w, status, hr)
+}
+
+func (g *Gateway) probe(ctx context.Context, b *backend) BackendHealth {
+	h := BackendHealth{URL: b.url}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		return h
+	}
+	h.Healthy = true
+	return h
+}
+
+// BackendStats is one ring slot inside a /stats answer: the gateway's own
+// routing counters plus the backend's /stats body when reachable.
+type BackendStats struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Owned     int64  `json:"owned"`     // requests hashed to this slot
+	Served    int64  `json:"served"`    // requests it answered
+	Failovers int64  `json:"failovers"` // requests answered for a neighbour
+	Errors    int64  `json:"errors"`    // failed attempts against it
+
+	Cache cache.Stats        `json:"cache"` // from the backend, zero when unreachable
+	Sched service.SchedStats `json:"sched"`
+}
+
+// StatsResponse is the JSON body of GET /stats: per-backend detail plus
+// fleet totals (cache counters summed across backends).
+type StatsResponse struct {
+	UptimeSeconds   float64            `json:"uptime_seconds"`
+	BackendCount    int                `json:"backend_count"`
+	CompileRequests int64              `json:"compile_requests"`
+	BatchRequests   int64              `json:"batch_requests"`
+	BatchItems      int64              `json:"batch_items"`
+	RequestErrors   int64              `json:"request_errors"`
+	Backends        []BackendStats     `json:"backends"`
+	TotalCache      cache.Stats        `json:"total_cache"`
+	TotalSched      service.SchedStats `json:"total_sched"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	service.WriteJSON(w, http.StatusOK, g.Stats(r.Context()))
+}
+
+// Stats aggregates the fleet: each backend's /stats is fetched concurrently
+// and summed into the totals; unreachable backends report their routing
+// counters with Healthy=false and zero cache numbers.
+func (g *Gateway) Stats(ctx context.Context) StatsResponse {
+	st := StatsResponse{
+		UptimeSeconds:   time.Since(g.start).Seconds(),
+		BackendCount:    len(g.backends),
+		CompileRequests: g.compileRequests.Load(),
+		BatchRequests:   g.batchRequests.Load(),
+		BatchItems:      g.batchItems.Load(),
+		RequestErrors:   g.requestErrors.Load(),
+		Backends:        make([]BackendStats, len(g.backends)),
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			bs := BackendStats{
+				URL:       b.url,
+				Owned:     b.owned.Load(),
+				Served:    b.served.Load(),
+				Failovers: b.failovers.Load(),
+				Errors:    b.errors.Load(),
+			}
+			if remote, err := g.fetchBackendStats(ctx, b); err == nil {
+				bs.Healthy = true
+				bs.Cache = remote.Cache
+				bs.Sched = remote.Sched
+			}
+			st.Backends[i] = bs
+		}(i, b)
+	}
+	wg.Wait()
+	for _, bs := range st.Backends {
+		st.TotalCache.Hits += bs.Cache.Hits
+		st.TotalCache.Misses += bs.Cache.Misses
+		st.TotalCache.Evictions += bs.Cache.Evictions
+		st.TotalCache.Entries += bs.Cache.Entries
+		st.TotalSched.Compiles += bs.Sched.Compiles
+		st.TotalSched.Errors += bs.Sched.Errors
+		st.TotalSched.OpsScheduled += bs.Sched.OpsScheduled
+		st.TotalSched.IISum += bs.Sched.IISum
+	}
+	return st
+}
+
+func (g *Gateway) fetchBackendStats(ctx context.Context, b *backend) (*service.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st service.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, matching the
+// backend's own decoder so the gateway never accepts a body a backend
+// would bounce.
+func strictUnmarshal(data []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// relay copies a backend answer to the client byte-for-byte.
+func relay(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeRawBatch emits {"results":[...]} with each entry's bytes untouched,
+// terminated by the same trailing newline json.Encoder gives the backend
+// paths.
+func writeRawBatch(w http.ResponseWriter, results []json.RawMessage) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	var buf bytes.Buffer
+	buf.WriteString(`{"results":[`)
+	for i, r := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(r)
+	}
+	buf.WriteString("]}\n")
+	w.Write(buf.Bytes())
+}
+
+func (g *Gateway) failRead(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	if mbe := (*http.MaxBytesError)(nil); errors.As(err, &mbe) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	g.fail(w, code, err.Error())
+}
+
+func (g *Gateway) fail(w http.ResponseWriter, code int, msg string) {
+	g.requestErrors.Add(1)
+	service.WriteJSON(w, code, map[string]string{"error": msg})
+}

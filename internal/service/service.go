@@ -43,7 +43,8 @@ type Config struct {
 	CacheEntries int
 	// Workers bounds per-batch compile parallelism; 0 uses GOMAXPROCS.
 	Workers int
-	// MaxBatch caps the request count of one /batch call; 0 means 1024.
+	// MaxBatch caps the request count of one /batch call; 0 means
+	// DefaultMaxBatch.
 	MaxBatch int
 	// MaxBodyBytes caps the request body; 0 means 4 MiB.
 	MaxBodyBytes int64
@@ -174,11 +175,16 @@ func (s *Server) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// DefaultMaxBatch is the /batch request-count cap when Config.MaxBatch is
+// zero; the gateway mirrors it so a batch the gateway accepts is one every
+// backend accepts after splitting.
+const DefaultMaxBatch = 1024
+
 func (s *Server) maxBatch() int {
 	if s.cfg.MaxBatch > 0 {
 		return s.cfg.MaxBatch
 	}
-	return 1024
+	return DefaultMaxBatch
 }
 
 func (s *Server) maxBody() int64 {
@@ -230,11 +236,14 @@ func buildOptions(req *CompileRequest) (vliwq.Options, error) {
 	return opts, nil
 }
 
-// cacheKey canonicalizes a request. Fields that default (machine, shape)
-// are normalized first by buildOptions validation, but the key uses the
-// raw strings plus every knob, so two requests collide only when they are
-// behaviourally identical.
-func cacheKey(req *CompileRequest) string {
+// CanonicalKey canonicalizes a request into the cache key. Fields that
+// default (machine, shape) are normalized first by buildOptions validation,
+// but the key uses the raw strings plus every knob, so two requests collide
+// only when they are behaviourally identical. The gateway (internal/gateway)
+// shards requests by a stable hash of this same key, which is what makes
+// its routing cache-affine: every replay of a request lands on the backend
+// that already holds the entry.
+func CanonicalKey(req *CompileRequest) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "m=%s;u=%t;f=%d;s=%s;mv=%t;cl=%d;sv=%t;",
 		req.Machine, req.Unroll, req.UnrollFactor, req.CopyShape,
@@ -291,7 +300,7 @@ func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileR
 	}
 	var oc outcome
 	if s.cache != nil {
-		oc = s.cache.Do(cacheKey(req), func() outcome {
+		oc = s.cache.Do(CanonicalKey(req), func() outcome {
 			return s.compute(context.Background(), req, opts)
 		})
 	} else {
@@ -344,7 +353,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -364,15 +373,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.batchItems.Add(int64(len(req.Requests)))
-	writeJSON(w, http.StatusOK, BatchResponse{Results: s.compileBatch(r.Context(), req.Requests)})
+	WriteJSON(w, http.StatusOK, BatchResponse{Results: s.compileBatch(r.Context(), req.Requests)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	WriteJSON(w, http.StatusOK, s.Stats())
 }
 
 // Stats snapshots every counter the server maintains.
@@ -421,10 +430,14 @@ func (s *Server) failDecode(w http.ResponseWriter, err error) {
 
 func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 	s.requestErrors.Add(1)
-	writeJSON(w, code, map[string]string{"error": msg})
+	WriteJSON(w, code, map[string]string{"error": msg})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON renders one JSON response body the way every endpoint in this
+// system does — unescaped HTML, trailing newline. The gateway shares it so
+// its error and stats bodies are framed indistinguishably from a backend's
+// (the byte-identity contract the gateway tests pin down).
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)

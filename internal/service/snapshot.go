@@ -1,0 +1,63 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+
+	"vliwq/internal/cache"
+)
+
+// Cache snapshot persistence for the service: SaveCache/LoadCache wrap the
+// generic cache snapshot (internal/cache.Save/Load) with the service's
+// codec — keys are the canonical request strings, values are the cached
+// outcome rendered as JSON. vliwd's -cache-snapshot flag uses these to
+// persist the compile cache on shutdown and warm-start it on boot, so a
+// restarted backend serves its first repeated request as a hit.
+
+// ErrCacheDisabled is returned by SaveCache/LoadCache when the server was
+// built with caching disabled (Config.CacheEntries < 0): there is nothing
+// to persist or warm.
+var ErrCacheDisabled = errors.New("service: cache disabled")
+
+// wireOutcome is the snapshot encoding of a cached outcome. Exactly one of
+// Resp and Err is set, mirroring the in-memory invariant.
+type wireOutcome struct {
+	Resp *CompileResponse `json:"resp,omitempty"`
+	Err  string           `json:"err,omitempty"`
+}
+
+func outcomeCodec() cache.Codec[string, outcome] {
+	return cache.StringKeyCodec(
+		func(oc outcome) ([]byte, error) {
+			return json.Marshal(wireOutcome{Resp: oc.resp, Err: oc.err})
+		},
+		func(b []byte) (outcome, error) {
+			var w wireOutcome
+			if err := json.Unmarshal(b, &w); err != nil {
+				return outcome{}, err
+			}
+			return outcome{resp: w.Resp, err: w.Err}, nil
+		},
+	)
+}
+
+// SaveCache writes every completed cache entry to w in the versioned
+// snapshot format and returns how many entries it wrote.
+func (s *Server) SaveCache(w io.Writer) (int, error) {
+	if s.cache == nil {
+		return 0, ErrCacheDisabled
+	}
+	return s.cache.Save(w, outcomeCodec())
+}
+
+// LoadCache warm-starts the compile cache from a snapshot written by
+// SaveCache, returning how many entries it inserted. Corrupt or truncated
+// snapshots fail with an error wrapping cache.ErrCorruptSnapshot and leave
+// the cache as it was.
+func (s *Server) LoadCache(r io.Reader) (int, error) {
+	if s.cache == nil {
+		return 0, ErrCacheDisabled
+	}
+	return s.cache.Load(r, outcomeCodec())
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"vliwq"
+	"vliwq/internal/cache"
+	"vliwq/internal/corpus"
+)
+
+// TestServerSnapshotWarmStart compiles through one server, snapshots its
+// cache, loads the snapshot into a fresh server, and checks the fresh
+// server answers the same requests byte-identically as pure cache hits —
+// zero pipeline executions.
+func TestServerSnapshotWarmStart(t *testing.T) {
+	const n = 8
+	loops := testCorpus(t, n)
+	reqs := make([]CompileRequest, n)
+	for i, l := range loops {
+		reqs[i] = CompileRequest{Loop: vliwq.FormatLoop(l), Machine: "clustered:4", Unroll: true}
+	}
+
+	warm := New(Config{})
+	ts := httptest.NewServer(warm.Handler())
+	cold := make([][]byte, n)
+	for i := range reqs {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/compile", reqs[i])
+		resp.Body.Close()
+		cold[i] = body
+	}
+	ts.Close()
+
+	var snap bytes.Buffer
+	wrote, err := warm.SaveCache(&snap)
+	if err != nil {
+		t.Fatalf("SaveCache: %v", err)
+	}
+	if wrote != n {
+		t.Fatalf("SaveCache wrote %d entries, want %d", wrote, n)
+	}
+
+	restarted := New(Config{})
+	loaded, err := restarted.LoadCache(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadCache: %v", err)
+	}
+	if loaded != n {
+		t.Fatalf("LoadCache inserted %d entries, want %d", loaded, n)
+	}
+
+	ts2 := httptest.NewServer(restarted.Handler())
+	defer ts2.Close()
+	for i := range reqs {
+		resp, body := postJSON(t, ts2.Client(), ts2.URL+"/compile", reqs[i])
+		resp.Body.Close()
+		if !bytes.Equal(body, cold[i]) {
+			t.Fatalf("loop %d: warm-start response differs from the original:\n%s\nvs\n%s", i, body, cold[i])
+		}
+	}
+	st := restarted.Stats()
+	if st.Sched.Compiles != 0 {
+		t.Fatalf("warm-started server ran %d compiles, want 0 (all hits)", st.Sched.Compiles)
+	}
+	if st.Cache.Hits != int64(n) {
+		t.Fatalf("warm-started server counted %d hits, want %d", st.Cache.Hits, n)
+	}
+}
+
+// TestServerSnapshotCorrupt: a truncated snapshot is rejected with the
+// cache's corrupt-snapshot error and leaves the server cold but serving.
+func TestServerSnapshotCorrupt(t *testing.T) {
+	warm := New(Config{})
+	ts := httptest.NewServer(warm.Handler())
+	req := CompileRequest{Loop: vliwq.FormatLoop(corpus.KernelByName("daxpy")), Machine: "clustered:4"}
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/compile", req)
+	resp.Body.Close()
+	ts.Close()
+
+	var snap bytes.Buffer
+	if _, err := warm.SaveCache(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restarted := New(Config{})
+	_, err := restarted.LoadCache(bytes.NewReader(snap.Bytes()[:snap.Len()/2]))
+	if !errors.Is(err, cache.ErrCorruptSnapshot) {
+		t.Fatalf("LoadCache on a truncated file: %v, want ErrCorruptSnapshot", err)
+	}
+	if restarted.Stats().Cache.Entries != 0 {
+		t.Fatalf("corrupt load left %d entries", restarted.Stats().Cache.Entries)
+	}
+}
+
+// TestSnapshotCacheDisabled: snapshot hooks on an uncached server say so.
+func TestSnapshotCacheDisabled(t *testing.T) {
+	s := New(Config{CacheEntries: -1})
+	if _, err := s.SaveCache(&bytes.Buffer{}); !errors.Is(err, ErrCacheDisabled) {
+		t.Fatalf("SaveCache: %v, want ErrCacheDisabled", err)
+	}
+	if _, err := s.LoadCache(&bytes.Buffer{}); !errors.Is(err, ErrCacheDisabled) {
+		t.Fatalf("LoadCache: %v, want ErrCacheDisabled", err)
+	}
+}
