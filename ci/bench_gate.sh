@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench_gate.sh <benchstat-comparison-file> [threshold-percent]
+#
+# Gates a benchstat old-vs-new comparison: exits non-zero when any
+# benchmark's sec/op regressed by more than the threshold (default 15%).
+# Only the sec/op (legacy: time/op) section gates — B/op and allocs/op are
+# recorded for the trajectory but do not fail the build — and the geomean
+# summary line is skipped so one real regression is reported once, by name.
+# Works on both benchstat output formats: the table style with a
+# "│ sec/op │ ... vs base" header and the legacy
+# "name  old time/op  new time/op  delta" style.
+set -eu
+cmp_file="$1"
+threshold="${2:-15}"
+
+awk -v max="$threshold" '
+  /sec\/op/ || (/time\/op/ && /delta/) { insec = 1; next }
+  /B\/op/ || /alloc\/op/ || /allocs\/op/ { insec = 0 }
+  insec && $1 == "geomean"             { next }
+  insec {
+    # A row was actually *compared* when it carries a delta verdict: a
+    # signed percentage or the not-significant tilde. Rows present in only
+    # one input (e.g. baseline/new benchmark names that do not match) have
+    # neither, and must not count as coverage.
+    seencmp = 0
+    for (i = 1; i <= NF; i++) {
+      if ($i == "~") { seencmp = 1 }
+      if ($i ~ /^[+-][0-9]+(\.[0-9]+)?%$/) {
+        seencmp = 1
+        if ($i ~ /^\+/) {
+          v = substr($i, 2, length($i) - 2) + 0
+          if (v > max) {
+            bad = 1
+            printf "sec/op regression beyond %s%%: %s\n", max, $0
+          }
+        }
+      }
+    }
+    if (seencmp) { compared++ }
+  }
+  END {
+    # A gate that compared nothing is a broken gate, not a green one: a
+    # benchstat format change, or baseline/new benchmark names that do not
+    # line up (different -cpu, renamed benchmarks), must fail loudly
+    # instead of silently waving regressions through.
+    if (compared == 0) {
+      print "bench gate: BROKEN — no old-vs-new sec/op comparisons found (format change, or baseline and new benchmark names do not match)"
+      exit 2
+    }
+    if (bad) {
+      print "bench gate: FAIL (refresh bench/baseline.txt from a CI artifact only for a deliberate, reviewed cost change)"
+      exit 1
+    }
+    print "bench gate: OK (" compared " sec/op comparisons checked, none beyond " max "%)"
+  }
+' "$cmp_file"

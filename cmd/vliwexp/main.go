@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"vliwq"
 	"vliwq/internal/corpus"
 	"vliwq/internal/exp"
 )
@@ -35,6 +36,7 @@ var figures = map[string]func(exp.Options) *exp.Table{
 	"ablation-moves":      exp.AblationMoveOps,
 	"ablation-commlat":    exp.AblationCommLatency,
 	"ablation-invariants": exp.AblationInvariants,
+	"portfolio":           exp.Portfolio,
 }
 
 func main() {
@@ -45,10 +47,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vliwexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", "experiment to run: all, or one of "+names())
+		fig     = fs.String("fig", "all", "experiment to run: all (the paper's evaluation; excludes portfolio), or one of "+names())
 		n       = fs.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
 		seed    = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
 		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		effort  = fs.String("effort", "fast", "scheduler effort for every experiment: fast, balanced or exhaustive")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,10 +65,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "vliwexp: unknown figure %q; available: %s\n", *fig, names())
 		return 2
 	}
+	eff, err := vliwq.ParseEffort(*effort)
+	if err != nil {
+		fmt.Fprintf(stderr, "vliwexp: %v\n", err)
+		return 2
+	}
 
 	opts := exp.Options{
 		Loops:   corpus.Generate(corpus.Params{Seed: *seed, N: *n}),
 		Workers: *workers,
+		Effort:  eff,
+	}
+	// Only the portfolio sweep consumes the stressed preset; other figures
+	// must not pay its generation. -n bounds it so smoke runs stay small;
+	// at full size the exp package's memoized corpus.Stressed() is used.
+	if *fig == "portfolio" {
+		if sp := corpus.StressedParams(); *n < sp.N {
+			sp.N = *n
+			opts.StressedLoops = corpus.Generate(sp)
+		}
 	}
 	fmt.Fprintf(stdout, "corpus: %d loops (seed %d)\n\n", *n, *seed)
 	if *fig == "all" {

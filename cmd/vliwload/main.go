@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch       = fs.Int("batch", 0, "requests per /batch call (0 drives /compile)")
 		unrollReq   = fs.Bool("unroll", true, "request automatic unrolling")
 		verify      = fs.Bool("verify", false, "request simulator verification (heavier)")
+		effort      = fs.String("effort", "", "scheduler effort sent with every request (empty = server default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,8 +67,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "vliwload:", err)
 		return 2
 	}
+	if _, err := vliwq.ParseEffort(*effort); err != nil {
+		fmt.Fprintln(stderr, "vliwload:", err)
+		return 2
+	}
 
-	bodies, err := buildBodies(*n, *seed, *machineSpec, *unrollReq, !*verify, *batch)
+	bodies, err := buildBodies(*n, *seed, *machineSpec, *effort, *unrollReq, !*verify, *batch)
 	if err != nil {
 		fmt.Fprintln(stderr, "vliwload:", err)
 		return 1
@@ -234,7 +239,7 @@ type body struct {
 // buildBodies renders the request set: n corpus loops formatted in the text
 // format, marshalled once up front so the load loop measures the server,
 // not the generator.
-func buildBodies(n int, seed int64, machineSpec string, unroll, skipVerify bool, batch int) ([]body, error) {
+func buildBodies(n int, seed int64, machineSpec, effort string, unroll, skipVerify bool, batch int) ([]body, error) {
 	loops := corpus.Generate(corpus.Params{Seed: seed, N: n})
 	reqs := make([]service.CompileRequest, len(loops))
 	for i, l := range loops {
@@ -243,6 +248,7 @@ func buildBodies(n int, seed int64, machineSpec string, unroll, skipVerify bool,
 			Machine:    machineSpec,
 			Unroll:     unroll,
 			SkipVerify: skipVerify,
+			Effort:     effort,
 		}
 	}
 	if batch <= 0 {

@@ -47,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		emit        = fs.Bool("emit", false, "emit the complete pipelined program (prologue/kernel/epilogue)")
 		moves       = fs.Bool("moves", false, "enable the move-operation extension on clustered machines")
 		commLat     = fs.Int("commlat", 0, "inter-cluster communication latency in cycles")
+		effort      = fs.String("effort", "fast", "scheduler effort: fast, balanced or exhaustive (races partition strategies)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +82,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	cfg.AllowMoves = *moves
 	cfg.CommLatency = *commLat
+	eff, err := vliwq.ParseEffort(*effort)
+	if err != nil {
+		return fail(err)
+	}
 
 	opts := vliwq.Options{
 		Machine:      cfg,
@@ -88,6 +93,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		UnrollFactor: *factor,
 		SkipVerify:   *noVerify,
 	}
+	opts.Sched.Effort = eff
 	if *shape == "chain" {
 		opts.CopyShape = copyins.Chain
 	}

@@ -59,6 +59,21 @@ op st store s
 	golden(t, "fir2_single6_unroll", stdout.Bytes())
 }
 
+// TestRunEffortPortfolio: -effort exhaustive races the strategy catalogue
+// and reports the winner; the default fast path must not print that line
+// (that is what keeps the goldens above stable).
+func TestRunEffortPortfolio(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-kernel", "daxpy", "-machine", "clustered:4", "-effort", "exhaustive"},
+		strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "portfolio: 5 strategies raced") {
+		t.Fatalf("missing portfolio line:\n%s", stdout.String())
+	}
+}
+
 func TestRunListKernels(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, strings.NewReader(""), &stdout, &stderr); code != 0 {
@@ -92,6 +107,7 @@ func TestRunErrors(t *testing.T) {
 		{"bad machine", []string{"-kernel", "daxpy", "-machine", "mesh:4"}, "", "unknown machine kind"},
 		{"bad machine size", []string{"-kernel", "daxpy", "-machine", "single:zero"}, "", "bad machine size"},
 		{"unparsable stdin", []string{}, "op nope unknownkind", "vliwsched:"},
+		{"bad effort", []string{"-kernel", "daxpy", "-effort", "sluggish"}, "", "unknown effort \"sluggish\" (valid: balanced, exhaustive, fast)"},
 		{"unknown flag", []string{"-zap"}, "", "flag provided but not defined"},
 	}
 	for _, tt := range tests {

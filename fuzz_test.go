@@ -1,0 +1,33 @@
+package vliwq_test
+
+import (
+	"testing"
+
+	"vliwq"
+)
+
+// FuzzParseMachine fuzzes the machine-spec parser, the service's trust
+// boundary for attacker-controlled sizing input: whatever it accepts must
+// be a valid machine within the documented size cap (a hostile spec must
+// never size an allocation).
+func FuzzParseMachine(f *testing.F) {
+	for _, seed := range []string{
+		"single:6", "clustered:4", "clustered:512", "single:1",
+		"mesh:4", "single:0", "single:-3", "clustered:500000000",
+		"single:6:extra", "clustered:", ":", "single", "clustered:٤",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := vliwq.ParseMachine(spec)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseMachine(%q) accepted an invalid machine: %v", spec, err)
+		}
+		if n := cfg.NumClusters(); n < 1 || n > vliwq.MaxMachineSize {
+			t.Fatalf("ParseMachine(%q) sized %d clusters outside [1, %d]", spec, n, vliwq.MaxMachineSize)
+		}
+	})
+}

@@ -44,6 +44,11 @@ type Params struct {
 	// MemDepProb is the probability of a store->load memory ordering
 	// dependence; default 0.25.
 	MemDepProb float64
+	// ReuseProb is the probability an operand deliberately reuses an
+	// already-consumed value instead of a fresh one; default 0.12. Raising
+	// it widens fanout (more multi-consumer values, so more copy trees and
+	// more cross-cluster pressure once partitioned).
+	ReuseProb float64
 }
 
 // PaperCorpusSize is the loop count of the paper's benchmark set.
@@ -78,12 +83,17 @@ func (p Params) withDefaults() Params {
 	if p.MemDepProb == 0 {
 		p.MemDepProb = 0.25
 	}
+	if p.ReuseProb == 0 {
+		p.ReuseProb = 0.12
+	}
 	return p
 }
 
 var (
 	standardOnce sync.Once
 	standard     []*ir.Loop
+	stressedOnce sync.Once
+	stressed     []*ir.Loop
 )
 
 // Standard returns the 1258-loop corpus used by all experiments. The corpus
@@ -94,6 +104,45 @@ var (
 func Standard() []*ir.Loop {
 	standardOnce.Do(func() { standard = Generate(Params{Seed: DefaultSeed}) })
 	return standard
+}
+
+// StressedSize is the loop count of the stressed corpus preset: big enough
+// for stable fractions, small enough that a portfolio sweep over it stays
+// interactive.
+const StressedSize = 256
+
+// StressedSeed seeds the stressed corpus; fixed so every run sees the same
+// loops, and distinct from DefaultSeed so the presets never alias.
+const StressedSeed = 19980331
+
+// StressedParams parameterizes the stressed corpus preset: bigger bodies,
+// heavy deliberate value reuse (wide fanout, so copy trees and
+// multi-consumer values everywhere) and dense cross-iteration flow. These
+// are the loops whose partition quality decides whether the modulo
+// schedule reaches MII — exactly the regime where racing several
+// partition heuristics pays (see internal/sched's portfolio and the exp
+// portfolio sweep).
+func StressedParams() Params {
+	return Params{
+		Seed:           StressedSeed,
+		N:              StressedSize,
+		MeanLogOps:     3.0,
+		SigmaLogOps:    0.5,
+		MinOps:         12,
+		MaxOps:         80,
+		RecurrenceProb: 0.65,
+		CarriedProb:    0.55,
+		MemDepProb:     0.3,
+		ReuseProb:      0.35,
+	}
+}
+
+// Stressed returns the memoized stressed corpus (StressedParams applied to
+// Generate). Like Standard, the slice is shared and read-only; callers
+// needing a private copy must use Generate.
+func Stressed() []*ir.Loop {
+	stressedOnce.Do(func() { stressed = Generate(StressedParams()) })
+	return stressed
 }
 
 // Generate produces a deterministic synthetic corpus.
@@ -131,7 +180,7 @@ func genLoop(rng *rand.Rand, p Params, idx int) *ir.Loop {
 	// Most values are consumed exactly once (array expression code);
 	// occasional reuse (common subexpressions, shared index arithmetic)
 	// creates the multi-consumer values that need copy operations.
-	const reuseProb = 0.12
+	reuseProb := p.ReuseProb
 	var producers []*ir.Op // ops with results, candidates as operands
 	uses := map[int]int{}
 	anyFresh := func() bool {

@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"testing"
+
+	"vliwq/internal/ir"
+)
+
+func TestStressedCorpusShape(t *testing.T) {
+	loops := Stressed()
+	if len(loops) != StressedSize {
+		t.Fatalf("stressed corpus has %d loops, want %d", len(loops), StressedSize)
+	}
+	// Memoized: every call shares the identical slice (the pipeline cache
+	// keys loops by pointer).
+	again := Stressed()
+	for i := range loops {
+		if loops[i] != again[i] {
+			t.Fatalf("Stressed() returned a fresh loop at %d; must memoize", i)
+		}
+	}
+	for _, l := range loops {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		if len(l.Ops) < 12 {
+			t.Fatalf("%s has %d ops, below the stressed floor", l.Name, len(l.Ops))
+		}
+	}
+}
+
+// TestStressedIsStressed verifies the preset earns its name: markedly more
+// multi-consumer values (fanout pressure, hence copy trees and cross-
+// cluster traffic) than the standard corpus.
+func TestStressedIsStressed(t *testing.T) {
+	multi := func(loops []*ir.Loop) float64 {
+		ops, fan := 0, 0
+		for _, l := range loops {
+			for _, op := range l.Ops {
+				if !op.Kind.HasResult() {
+					continue
+				}
+				ops++
+				if l.Fanout(op) > 1 {
+					fan++
+				}
+			}
+		}
+		return float64(fan) / float64(ops)
+	}
+	std := multi(Standard())
+	str := multi(Stressed())
+	if str <= std {
+		t.Fatalf("stressed multi-consumer fraction %.3f not above standard %.3f", str, std)
+	}
+}
+
+func TestReuseProbDefault(t *testing.T) {
+	// ReuseProb zero must keep the historical default, so the standard
+	// corpus (and every golden derived from it) is unchanged by the knob.
+	p := Params{}.withDefaults()
+	if p.ReuseProb != 0.12 {
+		t.Fatalf("default ReuseProb = %v", p.ReuseProb)
+	}
+	a := Generate(Params{Seed: 7, N: 8})
+	b := Generate(Params{Seed: 7, N: 8, ReuseProb: 0.12})
+	for i := range a {
+		if ir.FormatString(a[i]) != ir.FormatString(b[i]) {
+			t.Fatalf("explicit default ReuseProb changed loop %d", i)
+		}
+	}
+}

@@ -35,6 +35,13 @@ type Options struct {
 	// options) sets, and the cache collapses every repeat into a map hit.
 	// RunAll installs one automatically. Nil compiles uncached.
 	Pipeline *Pipeline
+	// Effort raises the scheduler effort of every experiment that does not
+	// pin its own (the portfolio sweep pins effort per row). The zero
+	// value is sched.EffortFast — the historical behaviour.
+	Effort sched.Effort
+	// StressedLoops overrides the stressed corpus of the portfolio sweep;
+	// nil uses corpus.Stressed().
+	StressedLoops []*ir.Loop
 }
 
 func (o Options) loops() []*ir.Loop {
@@ -42,6 +49,13 @@ func (o Options) loops() []*ir.Loop {
 		return o.Loops
 	}
 	return corpus.Standard()
+}
+
+func (o Options) stressedLoops() []*ir.Loop {
+	if o.StressedLoops != nil {
+		return o.StressedLoops
+	}
+	return corpus.Stressed()
 }
 
 func (o Options) workers() int {
@@ -132,7 +146,9 @@ func hashPipeKey(k pipeKey) uint64 {
 	h := cache.StringHash(k.loop.Name)
 	h ^= cache.StringHash(k.cfg)
 	h ^= cache.StringHash(k.opts.factorFrom)
+	h ^= cache.StringHash(k.opts.strategies)
 	mix := uint64(k.opts.maxII)<<32 | uint64(uint32(k.opts.budget))<<3 | uint64(k.opts.shape)<<2
+	mix ^= uint64(k.opts.effort) << 24
 	if k.opts.unroll {
 		mix |= 2
 	}
@@ -152,11 +168,16 @@ type pipeKey struct {
 	opts pipeOptsKey
 }
 
-// pipeOptsKey is the comparable digest of pipeOpts.
+// pipeOptsKey is the comparable digest of pipeOpts. Every field of
+// sched.Options that changes schedules participates (effort and the
+// explicit strategy list do; RaceWorkers deliberately does not — it only
+// changes wall-clock).
 type pipeOptsKey struct {
 	unroll, copies bool
 	shape          copyins.Shape
 	maxII, budget  int
+	effort         sched.Effort
+	strategies     string // explicit sched.Options.Strategies, one byte per entry
 	factorFrom     string // configDigest of the AutoFactor machine, or ""
 }
 
@@ -181,6 +202,14 @@ func optsKey(po pipeOpts) pipeOptsKey {
 		shape:  po.shape,
 		maxII:  po.schedOpts.MaxII,
 		budget: po.schedOpts.BudgetRatio,
+		effort: po.schedOpts.Effort,
+	}
+	if len(po.schedOpts.Strategies) > 0 {
+		b := make([]byte, len(po.schedOpts.Strategies))
+		for i, s := range po.schedOpts.Strategies {
+			b[i] = byte(s)
+		}
+		k.strategies = string(b)
 	}
 	if po.factorFrom != nil {
 		k.factorFrom = configDigest(po.factorFrom)
@@ -205,6 +234,13 @@ func (p *Pipeline) compile(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled
 // computed once here rather than once per loop, so the per-loop cache hit
 // is just a map lookup.
 func (o Options) compiler(cfg machine.Config, po pipeOpts) func(*ir.Loop) compiled {
+	// The sweep-wide effort applies to every experiment that does not pin
+	// its own (EffortFast is the zero value, so a pinned fast row is
+	// indistinguishable from "unset" — the portfolio sweep clears the
+	// sweep-wide effort before building its compilers instead).
+	if po.schedOpts.Effort == sched.EffortFast {
+		po.schedOpts.Effort = o.Effort
+	}
 	p := o.Pipeline
 	if p == nil {
 		return func(l *ir.Loop) compiled { return compileLoop(l, cfg, po) }
@@ -272,6 +308,11 @@ func pct(n, total int) string {
 // RunAll regenerates every figure and table in order and writes them to w.
 // All experiments share one compilation cache: the figures' (loop, machine,
 // options) sets overlap heavily, so each distinct compilation runs once.
+// RunAll is deliberately the *paper's* evaluation only: the Portfolio
+// sweep (this repo's extension, with its own stressed corpus and a 5x
+// scheduling cost at exhaustive effort) runs explicitly via
+// `vliwexp -fig portfolio`, keeping RunAll's output and BenchmarkRunAll's
+// cost stable against the published baselines.
 func RunAll(w io.Writer, opts Options) {
 	if opts.Pipeline == nil {
 		opts.Pipeline = NewPipeline()

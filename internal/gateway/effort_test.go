@@ -1,0 +1,72 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"vliwq"
+	"vliwq/internal/corpus"
+	"vliwq/internal/service"
+)
+
+// TestGatewayEffortAffinityAndStrategyWins: requests that differ only in
+// effort are distinct cache keys, so replaying a corpus at one effort
+// keeps the fleet invariant "misses == distinct requests"; and the
+// gateway's /stats must aggregate the backends' per-strategy win counters.
+func TestGatewayEffortAffinityAndStrategyWins(t *testing.T) {
+	const n = 12
+	loops := corpus.Generate(corpus.Params{Seed: corpus.DefaultSeed, N: n})
+	gw, ts, _ := fleet(t, 2, Config{})
+
+	reqs := make([]service.CompileRequest, n)
+	for i, l := range loops {
+		reqs[i] = service.CompileRequest{
+			Loop:       vliwq.FormatLoop(l),
+			Machine:    "clustered:4",
+			Effort:     "exhaustive",
+			SkipVerify: true,
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := range reqs {
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/compile", reqs[i])
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("pass %d loop %d: status %d: %s", pass, i, resp.StatusCode, body)
+			}
+		}
+	}
+	st := gw.Stats(context.Background())
+	if st.TotalCache.Misses != int64(n) {
+		t.Fatalf("fleet misses = %d, want exactly %d distinct requests", st.TotalCache.Misses, n)
+	}
+	var wins int64
+	for _, c := range st.TotalSched.StrategyWins {
+		wins += c
+	}
+	if wins != int64(n) {
+		t.Fatalf("aggregated strategy wins %v sum to %d, want %d", st.TotalSched.StrategyWins, wins, n)
+	}
+
+	// The same corpus at a different effort is a different request set:
+	// routing still shards it, and the fleet compiles it once more —
+	// distinct keys, not duplicated compiles.
+	for i := range reqs {
+		reqs[i].Effort = "fast"
+		if resp, body := postJSON(t, ts.Client(), ts.URL+"/compile", reqs[i]); resp.StatusCode != http.StatusOK {
+			t.Fatalf("fast loop %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	st = gw.Stats(context.Background())
+	if st.TotalCache.Misses != int64(2*n) {
+		t.Fatalf("fleet misses = %d after the fast replay, want %d", st.TotalCache.Misses, 2*n)
+	}
+	// An unknown effort is a client error the owning backend answers
+	// authoritatively — 400 straight through the gateway, no failover.
+	bad := reqs[0]
+	bad.Effort = "sluggish"
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/compile", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown effort through the gateway: status %d: %s", resp.StatusCode, body)
+	}
+}

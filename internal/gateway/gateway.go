@@ -495,6 +495,12 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 		st.TotalSched.Errors += bs.Sched.Errors
 		st.TotalSched.OpsScheduled += bs.Sched.OpsScheduled
 		st.TotalSched.IISum += bs.Sched.IISum
+		for name, n := range bs.Sched.StrategyWins {
+			if st.TotalSched.StrategyWins == nil {
+				st.TotalSched.StrategyWins = make(map[string]int64)
+			}
+			st.TotalSched.StrategyWins[name] += n
+		}
 	}
 	return st
 }

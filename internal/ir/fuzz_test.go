@@ -1,0 +1,40 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLoop fuzzes the loop text parser — the service's other trust
+// boundary besides ParseMachine. The invariant is crash-freedom plus a
+// canonical round-trip: anything Parse accepts, Format must render into
+// text that reparses and reformats to the identical bytes. (Loops parsed
+// without a `loop` header have no name and format as "loop \n", which the
+// parser rightly rejects; the round-trip check applies to named loops.)
+func FuzzParseLoop(f *testing.F) {
+	f.Add("loop daxpy\ntrip 200\nop a load\nop x load\nop m mul a\nop s add m x\nop st store s\n")
+	f.Add("loop rec\ntrip 64\nop a load\nop s add a\nop st store s\ncarried s s 1\n")
+	f.Add("loop memdep\ntrip 8\nop a load\nop st store a\nmem st a 1\norder st a 0\n")
+	f.Add("# only a comment\n")
+	f.Add("loop x\ntrip 0\n")
+	f.Add("op dup load\nop dup load\n")
+	f.Add("loop x\nop a add b\n")
+	f.Add(strings.Repeat("op a load\n", 2))
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		out := FormatString(l)
+		if l.Name == "" {
+			return
+		}
+		l2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("formatted loop does not reparse: %v\ninput: %q\nformatted: %q", err, src, out)
+		}
+		if again := FormatString(l2); again != out {
+			t.Fatalf("format not canonical:\nfirst:  %q\nsecond: %q", out, again)
+		}
+	})
+}

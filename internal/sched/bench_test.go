@@ -40,3 +40,20 @@ func BenchmarkScheduleLoopClustered4(b *testing.B) {
 func BenchmarkScheduleLoopClustered6(b *testing.B) {
 	benchScheduleLoop(b, machine.Clustered(6))
 }
+
+// BenchmarkSchedulePortfolioExhaustive prices the full strategy race: the
+// same clustered-6 workload as above under EffortExhaustive, so the bench
+// trajectory records what the portfolio costs relative to the fast path.
+func BenchmarkSchedulePortfolioExhaustive(b *testing.B) {
+	loops := schedBenchLoops(b)
+	cfg := machine.Clustered(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range loops {
+			if _, err := ScheduleLoop(l, cfg, Options{Effort: EffortExhaustive}); err != nil {
+				b.Fatalf("%s: %v", l.Name, err)
+			}
+		}
+	}
+}

@@ -18,8 +18,10 @@ type state struct {
 	loop        *ir.Loop // working copy; ops are shared, never mutated
 	cfg         machine.Config
 	budgetRatio int
+	strat       Strategy // cluster-preference policy for this run
 
 	ii       int
+	ordinal  int   // 1-based position of the current attempt, drives the budget multiplier
 	time     []int // issue cycle, -1 = unscheduled
 	cluster  []int
 	prevTime []int // last forced placement, for Rau's progress rule
@@ -51,10 +53,12 @@ type state struct {
 var statePool = sync.Pool{New: func() any { return new(state) }}
 
 // init binds the arena to a new input loop, reusing all prior storage.
-func (st *state) init(l *ir.Loop, cfg machine.Config, budgetRatio int) {
+func (st *state) init(l *ir.Loop, cfg machine.Config, budgetRatio int, strat Strategy) {
 	st.orig = l
 	st.cfg = cfg
 	st.budgetRatio = budgetRatio
+	st.strat = strat
+	st.ordinal = 0
 	st.stats = Stats{}
 	if st.loop == nil {
 		st.loop = &ir.Loop{}
@@ -113,7 +117,7 @@ func (st *state) tryII(ii int) bool {
 	for id := range st.loop.Ops {
 		wl.push(id)
 	}
-	mult := st.stats.Attempts
+	mult := st.ordinal
 	if mult < 1 {
 		mult = 1
 	}
@@ -240,24 +244,44 @@ func (st *state) findSlot(id, estart int) (int, int, bool) {
 	return 0, 0, false
 }
 
-// clusterPref orders one cluster candidate: more already-scheduled flow
-// neighbours first, then lighter MRT load, then index.
-type clusterPref struct{ c, neigh, load int }
+// clusterPref orders one cluster candidate by a strategy-specific key
+// vector: smaller k1 first, then k2, then k3, then cluster index. Every
+// strategy is expressed as a key assignment, so one insertion sort serves
+// the whole catalogue; the relation stays total (the index breaks every
+// tie), so the result is the unique sorted order.
+type clusterPref struct{ c, k1, k2, k3 int }
 
 func (p clusterPref) before(q clusterPref) bool {
-	if p.neigh != q.neigh {
-		return p.neigh > q.neigh
+	if p.k1 != q.k1 {
+		return p.k1 < q.k1
 	}
-	if p.load != q.load {
-		return p.load < q.load
+	if p.k2 != q.k2 {
+		return p.k2 < q.k2
+	}
+	if p.k3 != q.k3 {
+		return p.k3 < q.k3
 	}
 	return p.c < q.c
 }
 
-// clusterPrefs orders the clusters for slot search: clusters holding more
-// already-scheduled flow neighbours first, then lighter MRT load, then
-// index. Clusters without an FU of the op's class are excluded. The result
-// aliases scratch buffers valid until the next clusterPrefs call.
+// prefHash is StrategyPerturb's deterministic jitter source: a splitmix64
+// finalizer over the (op, cluster) pair under a fixed salt. Same op, same
+// cluster, same verdict — across runs, platforms and worker interleavings.
+func prefHash(id, c int) uint64 {
+	h := uint64(id)*0x9e3779b97f4a7c15 ^ uint64(c)*0xbf58476d1ce4e5b9 ^ 0x5eed1998
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// clusterPrefs orders the clusters for slot search under the run's
+// strategy (see the Strategy catalogue in strategy.go; StrategyBaseline
+// reproduces the historical order exactly). Clusters without an FU of the
+// op's class are excluded. The result aliases scratch buffers valid until
+// the next clusterPrefs call.
 func (st *state) clusterPrefs(id int) []int {
 	class := machine.ClassOf(st.loop.Ops[id].Kind)
 	if st.allowed != nil {
@@ -286,21 +310,52 @@ func (st *state) clusterPrefs(id int) []int {
 	// insertion sort into a reused buffer beats sort.Slice and its closure
 	// and interface allocations. The order relation is total (ties broken
 	// by cluster index), so the result matches any comparison sort.
+	nc := st.cfg.NumClusters()
 	prefs := st.prefBuf[:0]
-	for c := 0; c < st.cfg.NumClusters(); c++ {
+	for c := 0; c < nc; c++ {
 		if st.cfg.FUCount(c, class) == 0 {
 			continue
 		}
-		p := clusterPref{c: c, load: st.load[c]}
+		// neigh counts already-scheduled flow neighbours on c; commDist
+		// sums their ring distances to c (the copy/communication cost of
+		// placing the op there). The distance sum is computed only for the
+		// strategy that ranks on it, keeping the baseline walk as cheap as
+		// it has always been.
+		neigh, commDist := 0, 0
+		wantDist := st.strat == StrategyAffinity
 		for _, d := range st.preds.At(id) {
-			if d.Kind == ir.Flow && st.time[d.From] >= 0 && st.cluster[d.From] == c {
-				p.neigh++
+			if d.Kind == ir.Flow && st.time[d.From] >= 0 {
+				if st.cluster[d.From] == c {
+					neigh++
+				}
+				if wantDist {
+					commDist += st.cfg.RingDistance(st.cluster[d.From], c)
+				}
 			}
 		}
 		for _, d := range st.succs.At(id) {
-			if d.Kind == ir.Flow && st.time[d.To] >= 0 && st.cluster[d.To] == c {
-				p.neigh++
+			if d.Kind == ir.Flow && st.time[d.To] >= 0 {
+				if st.cluster[d.To] == c {
+					neigh++
+				}
+				if wantDist {
+					commDist += st.cfg.RingDistance(st.cluster[d.To], c)
+				}
 			}
+		}
+		p := clusterPref{c: c}
+		switch st.strat {
+		case StrategyLoadBalanced:
+			p.k1, p.k2 = st.load[c], -neigh
+		case StrategyAffinity:
+			p.k1, p.k2 = commDist, -neigh
+		case StrategyRoundRobin:
+			p.k1 = st.cfg.RingDistance(id%nc, c)
+		case StrategyPerturb:
+			h := prefHash(id, c)
+			p.k1, p.k2, p.k3 = -neigh, st.load[c]+int(h&1), int(h>>1&0xffff)
+		default: // StrategyBaseline
+			p.k1, p.k2 = -neigh, st.load[c]
 		}
 		i := len(prefs)
 		prefs = append(prefs, p)

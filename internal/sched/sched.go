@@ -41,6 +41,15 @@ type Schedule struct {
 	ResMII int
 	RecMII int
 
+	// Strategy is the cluster-assignment strategy the schedule was
+	// produced under: StrategyBaseline unless a portfolio raced
+	// alternatives or Options.Strategies pinned another. A single-strategy
+	// run reports its configured strategy even through the compact
+	// fallback (where the restricted cluster subset makes every ordering
+	// equivalent); a portfolio race that ends in the compact fallback
+	// reports baseline.
+	Strategy Strategy
+
 	Stats Stats
 }
 
@@ -78,10 +87,16 @@ func (s *Schedule) StageCount() int {
 
 // Stats records how hard the scheduler had to work.
 type Stats struct {
-	Attempts      int // number of candidate IIs tried
+	Attempts      int // number of (II, strategy) attempts tried
 	Placements    int // total operation placements across attempts
 	Evictions     int // operations unscheduled to resolve conflicts
 	MovesInserted int // move operations added (AllowMoves only)
+
+	// StrategiesTried is the portfolio width: the number of strategies
+	// raced for this schedule. Zero means no portfolio ran (the fast
+	// single-strategy path), which is how downstream reporting knows not
+	// to print portfolio detail for historical outputs.
+	StrategiesTried int
 }
 
 // Options control the scheduler's effort.
@@ -92,6 +107,20 @@ type Options struct {
 	// BudgetRatio bounds placements per II attempt at BudgetRatio*numOps
 	// (Rau's budget); 0 means DefaultBudgetRatio.
 	BudgetRatio int
+	// Effort selects the portfolio of cluster-assignment strategies raced
+	// per candidate II on clustered machines (portfolio.go). The zero
+	// value, EffortFast, runs the single baseline heuristic — bit-for-bit
+	// the scheduler's historical behaviour.
+	Effort Effort
+	// Strategies, when non-empty, overrides the effort-derived portfolio
+	// with an explicit strategy list. Order matters: the position is the
+	// race's deterministic tie-break index. Duplicates and out-of-range
+	// values are dropped.
+	Strategies []Strategy
+	// RaceWorkers bounds the parallelism of a portfolio race; 0 uses
+	// GOMAXPROCS. It affects wall-clock only, never the chosen schedule,
+	// so it must not participate in any cache key.
+	RaceWorkers int
 }
 
 // DefaultBudgetRatio is Rau's recommended scheduling budget multiplier.
@@ -148,9 +177,34 @@ var (
 	ErrNoSchedule = errors.New("sched: no schedule found within II and budget limits")
 )
 
+// strategySet resolves the strategies a compilation races: the explicit
+// Strategies list when given (filtered and deduplicated), otherwise the
+// effort level's portfolio. Single-cluster machines always collapse to the
+// baseline — every ordering of one cluster is the same ordering.
+func (o Options) strategySet(numClusters int) []Strategy {
+	if numClusters <= 1 {
+		return []Strategy{StrategyBaseline}
+	}
+	if len(o.Strategies) > 0 {
+		out := make([]Strategy, 0, len(o.Strategies))
+		var seen [NumStrategies]bool
+		for _, s := range o.Strategies {
+			if s < NumStrategies && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return o.Effort.Strategies()
+}
+
 // ScheduleLoop modulo-schedules the loop on the given machine. It works for
 // both single-cluster and clustered configurations; for the latter it runs
-// the paper's partitioned IMS.
+// the paper's partitioned IMS — as a single heuristic at EffortFast, or as
+// a strategy portfolio raced per candidate II at the higher effort levels.
 func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
@@ -168,9 +222,22 @@ func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, erro
 		mii = recMII
 	}
 	maxII := opts.maxII(l, mii)
+	strats := opts.strategySet(cfg.NumClusters())
+	if len(strats) > 1 {
+		return schedulePortfolio(l, cfg, opts, strats, resMII, recMII, maxII)
+	}
+	return scheduleSingle(l, cfg, opts, strats[0], resMII, recMII, maxII)
+}
 
+// scheduleSingle is the historical single-strategy search: the candidate-II
+// ladder under one cluster-preference policy, then the compact fallbacks.
+func scheduleSingle(l *ir.Loop, cfg machine.Config, opts Options, strat Strategy, resMII, recMII, maxII int) (*Schedule, error) {
+	mii := resMII
+	if recMII > mii {
+		mii = recMII
+	}
 	st := statePool.Get().(*state)
-	st.init(l, cfg, opts.budgetRatio())
+	st.init(l, cfg, opts.budgetRatio(), strat)
 	defer statePool.Put(st)
 	finish := func(ii int) *Schedule {
 		// The state goes back to the pool, so the schedule takes copies of
@@ -187,55 +254,67 @@ func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, erro
 		cluster := make([]int, len(st.cluster))
 		copy(cluster, st.cluster)
 		return &Schedule{
-			Loop:    resLoop,
-			Machine: cfg,
-			II:      ii,
-			Time:    time,
-			Cluster: cluster,
-			ResMII:  resMII,
-			RecMII:  recMII,
-			Stats:   st.stats,
+			Loop:     resLoop,
+			Machine:  cfg,
+			II:       ii,
+			Time:     time,
+			Cluster:  cluster,
+			ResMII:   resMII,
+			RecMII:   recMII,
+			Strategy: strat,
+			Stats:    st.stats,
 		}
 	}
 	st.iiBuf = candidateIIs(st.iiBuf, mii, maxII)
 	for _, ii := range st.iiBuf {
 		st.stats.Attempts++
+		st.ordinal = st.stats.Attempts
 		if st.tryII(ii) {
 			return finish(ii), nil
 		}
 		st.reset()
 	}
-	// Compact fallbacks, for the rare loops whose communication structure
-	// defeats the free partitioner at every candidate II (typically an
-	// operation whose neighbours settle on mutually distant clusters and
-	// evict each other until the budget runs out). Restricting placement
-	// to a mutually adjacent cluster subset makes the ring rule vacuous at
-	// the price of fewer FUs: first an adjacent pair, then one cluster —
-	// at maxII the single-cluster attempt cannot fail, so every valid
-	// loop schedules on every valid machine. The II cost shows up
-	// honestly in the experiment statistics.
-	if cfg.NumClusters() > 1 {
-		subsets := [][]int{{0, 1}, {0}}
-		for _, allowed := range subsets {
-			sub, err := resMIISubset(st.orig, cfg, allowed)
-			if err != nil {
-				continue
-			}
-			if sub < mii {
-				sub = mii
-			}
-			st.iiBuf = candidateIIs(st.iiBuf, sub, maxII)
-			for _, ii := range st.iiBuf {
-				st.stats.Attempts++
-				st.allowed = allowed
-				if st.tryII(ii) {
-					return finish(ii), nil
-				}
-				st.reset()
-			}
-		}
+	if ii := st.compactSchedule(mii, maxII); ii >= 0 {
+		return finish(ii), nil
 	}
 	return nil, fmt.Errorf("%w: %q on %s (MII=%d, maxII=%d)", ErrNoSchedule, l.Name, cfg.Name, mii, maxII)
+}
+
+// compactSchedule runs the compact fallbacks, for the rare loops whose
+// communication structure defeats the free partitioner at every candidate
+// II (typically an operation whose neighbours settle on mutually distant
+// clusters and evict each other until the budget runs out). Restricting
+// placement to a mutually adjacent cluster subset makes the ring rule
+// vacuous at the price of fewer FUs: first an adjacent pair, then one
+// cluster — at maxII the single-cluster attempt cannot fail, so every
+// valid loop schedules on every valid machine. The II cost shows up
+// honestly in the experiment statistics. It returns the achieved II, or -1
+// on a single-cluster machine (where no fallback exists).
+func (st *state) compactSchedule(mii, maxII int) int {
+	if st.cfg.NumClusters() <= 1 {
+		return -1
+	}
+	subsets := [][]int{{0, 1}, {0}}
+	for _, allowed := range subsets {
+		sub, err := resMIISubset(st.orig, st.cfg, allowed)
+		if err != nil {
+			continue
+		}
+		if sub < mii {
+			sub = mii
+		}
+		st.iiBuf = candidateIIs(st.iiBuf, sub, maxII)
+		for _, ii := range st.iiBuf {
+			st.stats.Attempts++
+			st.ordinal = st.stats.Attempts
+			st.allowed = allowed
+			if st.tryII(ii) {
+				return ii
+			}
+			st.reset()
+		}
+	}
+	return -1
 }
 
 // Verify checks that the schedule satisfies every dependence, every

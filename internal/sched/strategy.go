@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Strategy identifies one cluster-assignment heuristic. The partitioned
+// scheduler's slot search walks clusters in a preference order; a strategy
+// is exactly that ordering policy. No single ordering wins across loop
+// shapes — communication-bound loops want affinity, throughput-bound loops
+// want balance — which is why the portfolio scheduler (portfolio.go) races
+// several per candidate II. Strategy values are dense small integers: the
+// value doubles as the deterministic tie-break index of a race.
+type Strategy uint8
+
+const (
+	// StrategyBaseline is the heuristic the scheduler has always used:
+	// clusters holding more already-scheduled flow neighbours first, then
+	// lighter reservation-table load, then cluster index.
+	StrategyBaseline Strategy = iota
+	// StrategyLoadBalanced inverts the baseline's priorities: lightest
+	// reservation-table load first, affinity second. It wins on wide,
+	// communication-light loops where the baseline piles work onto the
+	// cluster of the first scheduled operations.
+	StrategyLoadBalanced
+	// StrategyAffinity is the min-copy ordering: clusters minimizing the
+	// total ring distance to already-scheduled flow neighbours first (zero
+	// distance = same cluster = no communication at all), affinity count
+	// second. It keeps dependence chains together harder than the baseline,
+	// which only counts same-cluster neighbours.
+	StrategyAffinity
+	// StrategyRoundRobin assigns each operation a home cluster by operation
+	// index modulo the cluster count and prefers clusters near that home.
+	// It ignores dependences entirely — a deliberately contrarian spreader
+	// that escapes the clumping failure modes of the affinity family.
+	StrategyRoundRobin
+	// StrategyPerturb is the baseline with a deterministic, seeded jitter
+	// on the load tie-break and a hashed final tie-break. It explores a
+	// different corner of the same basin, which is frequently enough to
+	// dodge an eviction cycle the unperturbed baseline cannot leave.
+	StrategyPerturb
+	// NumStrategies is the number of strategies (sentinel, not a strategy).
+	NumStrategies
+)
+
+var strategyNames = [NumStrategies]string{
+	StrategyBaseline:     "baseline",
+	StrategyLoadBalanced: "load-balanced",
+	StrategyAffinity:     "affinity",
+	StrategyRoundRobin:   "round-robin",
+	StrategyPerturb:      "perturb",
+}
+
+func (s Strategy) String() string {
+	if s < NumStrategies {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// ParseStrategy maps a strategy name (as printed by Strategy.String) back
+// to its value. The error lists the valid names sorted, so surfacing it
+// verbatim gives a client an actionable message.
+func ParseStrategy(name string) (Strategy, error) {
+	for s, n := range strategyNames {
+		if n == name {
+			return Strategy(s), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q (valid: %s)", name, strings.Join(StrategyNames(), ", "))
+}
+
+// StrategyNames returns every strategy name, sorted.
+func StrategyNames() []string {
+	out := make([]string, 0, NumStrategies)
+	out = append(out, strategyNames[:]...)
+	sort.Strings(out)
+	return out
+}
+
+// Effort selects how much scheduling work a compilation may spend: it
+// decides the strategy portfolio raced per candidate II. The zero value is
+// EffortFast — the single baseline heuristic, bit-for-bit the scheduler's
+// historical behaviour — so existing callers, golden files and cache keys
+// are untouched by the portfolio machinery.
+type Effort uint8
+
+const (
+	// EffortFast runs the baseline strategy only.
+	EffortFast Effort = iota
+	// EffortBalanced races the three affinity/load heuristics.
+	EffortBalanced
+	// EffortExhaustive races every strategy in the catalogue.
+	EffortExhaustive
+	numEfforts
+)
+
+var effortNames = [numEfforts]string{
+	EffortFast:       "fast",
+	EffortBalanced:   "balanced",
+	EffortExhaustive: "exhaustive",
+}
+
+func (e Effort) String() string {
+	if e < numEfforts {
+		return effortNames[e]
+	}
+	return fmt.Sprintf("Effort(%d)", uint8(e))
+}
+
+// ParseEffort maps an effort name to its value; the empty string is
+// EffortFast, so an omitted knob (JSON field, flag default) selects the
+// historical behaviour. The error lists the valid names sorted.
+func ParseEffort(name string) (Effort, error) {
+	if name == "" {
+		return EffortFast, nil
+	}
+	for e, n := range effortNames {
+		if n == name {
+			return Effort(e), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown effort %q (valid: %s)", name, strings.Join(EffortNames(), ", "))
+}
+
+// EffortNames returns every effort name, sorted.
+func EffortNames() []string {
+	out := make([]string, 0, numEfforts)
+	out = append(out, effortNames[:]...)
+	sort.Strings(out)
+	return out
+}
+
+// Strategies returns the strategy portfolio an effort level races, in
+// tie-break order. The slice is freshly allocated; callers may keep it.
+func (e Effort) Strategies() []Strategy {
+	switch e {
+	case EffortBalanced:
+		return []Strategy{StrategyBaseline, StrategyLoadBalanced, StrategyAffinity}
+	case EffortExhaustive:
+		return []Strategy{StrategyBaseline, StrategyLoadBalanced, StrategyAffinity, StrategyRoundRobin, StrategyPerturb}
+	}
+	return []Strategy{StrategyBaseline}
+}

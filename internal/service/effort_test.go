@@ -1,0 +1,105 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vliwq"
+	"vliwq/internal/corpus"
+)
+
+// TestEffortInCanonicalKey: effort is part of the request's behaviour, so
+// it must be part of the cache key — and therefore of the gateway's
+// routing hash, which is what keeps cache affinity intact per effort
+// level. Behaviourally identical requests must collide: an omitted effort
+// IS "fast", so the two share one key (one cache entry, one shard)
+// while distinct levels key apart.
+func TestEffortInCanonicalKey(t *testing.T) {
+	base := CompileRequest{Loop: "loop x\ntrip 4\nop a load", Machine: "clustered:4"}
+	fast := base
+	fast.Effort = "fast"
+	exhaustive := base
+	exhaustive.Effort = "exhaustive"
+	if CanonicalKey(&base) != CanonicalKey(&fast) {
+		t.Fatal(`omitted effort and "fast" are the same behaviour but keyed apart`)
+	}
+	if CanonicalKey(&base) == CanonicalKey(&exhaustive) {
+		t.Fatal("distinct effort levels collapsed to one key")
+	}
+	dup := base
+	if CanonicalKey(&dup) != CanonicalKey(&base) {
+		t.Fatal("identical requests produced distinct keys")
+	}
+}
+
+// TestEffortCompile drives an exhaustive request end to end: the response
+// must echo the normalized effort, name the winning strategy, and /stats
+// must expose the per-strategy win counters the fleet aggregates.
+func TestEffortCompile(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	loops := corpus.Generate(corpus.StressedParams())[:8]
+	for _, l := range loops {
+		req := CompileRequest{
+			Loop:       vliwq.FormatLoop(l),
+			Machine:    "clustered:4",
+			Effort:     "exhaustive",
+			SkipVerify: true,
+		}
+		resp, body := postJSON(t, client, ts.URL+"/compile", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", l.Name, resp.StatusCode, body)
+		}
+		var cr CompileResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Effort != "exhaustive" {
+			t.Fatalf("%s: effort %q", l.Name, cr.Effort)
+		}
+		if cr.Strategy == "" {
+			t.Fatalf("%s: response carries no winning strategy", l.Name)
+		}
+		if cr.II < cr.MII {
+			t.Fatalf("%s: II %d below MII %d", l.Name, cr.II, cr.MII)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Sched.Compiles != int64(len(loops)) {
+		t.Fatalf("compiles = %d, want %d", st.Sched.Compiles, len(loops))
+	}
+	var wins int64
+	for _, n := range st.Sched.StrategyWins {
+		wins += n
+	}
+	if wins != int64(len(loops)) {
+		t.Fatalf("strategy wins %v sum to %d, want %d", st.Sched.StrategyWins, wins, len(loops))
+	}
+}
+
+// TestEffortDefaultIsFast: an omitted effort must behave exactly like
+// "fast" — same pipeline, baseline strategy in the response — so existing
+// clients see no behaviour change.
+func TestEffortDefaultIsFast(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	req := CompileRequest{Loop: vliwq.FormatLoop(corpus.KernelByName("daxpy")), Machine: "clustered:4"}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/compile", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Effort != "fast" || cr.Strategy != "baseline" {
+		t.Fatalf("default compile reported effort=%q strategy=%q", cr.Effort, cr.Strategy)
+	}
+}

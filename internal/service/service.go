@@ -30,6 +30,7 @@ import (
 	"vliwq/internal/cache"
 	"vliwq/internal/copyins"
 	"vliwq/internal/pool"
+	"vliwq/internal/sched"
 )
 
 // Config tunes a Server. The zero value serves correctly — unbounded
@@ -63,6 +64,10 @@ type CompileRequest struct {
 	AllowMoves   bool   `json:"allow_moves,omitempty"`
 	CommLatency  int    `json:"comm_latency,omitempty"`
 	SkipVerify   bool   `json:"skip_verify,omitempty"`
+	// Effort selects the scheduler's portfolio breadth: "fast" (default),
+	// "balanced" or "exhaustive". Unknown values are rejected with HTTP
+	// 400 and the sorted list of valid names.
+	Effort string `json:"effort,omitempty"`
 }
 
 // CompileResponse carries the schedule and the headline metrics of one
@@ -79,6 +84,8 @@ type CompileResponse struct {
 	IPCDynamic float64 `json:"ipc_dynamic"`
 	Queues     int     `json:"queues"`
 	RingQueues int     `json:"ring_queues"`
+	Effort     string  `json:"effort"`
+	Strategy   string  `json:"strategy"`
 	Report     string  `json:"report"`
 	Kernel     string  `json:"kernel"`
 }
@@ -108,6 +115,12 @@ type SchedStats struct {
 	Errors       int64 `json:"errors"`        // pipeline executions that failed
 	OpsScheduled int64 `json:"ops_scheduled"` // total ops placed (post-unroll/copies)
 	IISum        int64 `json:"ii_sum"`        // sum of achieved IIs
+
+	// StrategyWins counts, per strategy name, how many compiles that
+	// strategy's schedule won — the fleet-wide observability hook for the
+	// portfolio scheduler (the gateway sums these maps across backends).
+	// Only strategies with at least one win appear.
+	StrategyWins map[string]int64 `json:"strategy_wins,omitempty"`
 }
 
 // StatsResponse is the JSON body of GET /stats.
@@ -148,6 +161,7 @@ type Server struct {
 	compileErrors atomic.Int64
 	opsScheduled  atomic.Int64
 	iiSum         atomic.Int64
+	strategyWins  [sched.NumStrategies]atomic.Int64
 }
 
 // New builds a Server from cfg.
@@ -230,6 +244,13 @@ func buildOptions(req *CompileRequest) (vliwq.Options, error) {
 	default:
 		return vliwq.Options{}, fmt.Errorf("unknown copy_shape %q (want tree or chain)", req.CopyShape)
 	}
+	// ParseEffort's error already carries the sorted list of valid values,
+	// mirroring the copy_shape/-fig UX; it reaches the client as HTTP 400.
+	eff, err := vliwq.ParseEffort(req.Effort)
+	if err != nil {
+		return vliwq.Options{}, err
+	}
+	opts.Sched.Effort = eff
 	if req.Loop == "" {
 		return vliwq.Options{}, errors.New("empty loop")
 	}
@@ -239,15 +260,22 @@ func buildOptions(req *CompileRequest) (vliwq.Options, error) {
 // CanonicalKey canonicalizes a request into the cache key. Fields that
 // default (machine, shape) are normalized first by buildOptions validation,
 // but the key uses the raw strings plus every knob, so two requests collide
-// only when they are behaviourally identical. The gateway (internal/gateway)
-// shards requests by a stable hash of this same key, which is what makes
-// its routing cache-affine: every replay of a request lands on the backend
-// that already holds the entry.
+// only when they are behaviourally identical. Effort is the exception: it
+// is normalized through ParseEffort (an omitted effort IS "fast", and the
+// two must share one cache entry and one gateway shard; an unparseable
+// effort keys on its raw string and is rejected with 400 downstream). The
+// gateway (internal/gateway) shards requests by a stable hash of this same
+// key, which is what makes its routing cache-affine: every replay of a
+// request lands on the backend that already holds the entry.
 func CanonicalKey(req *CompileRequest) string {
+	effort := req.Effort
+	if e, err := vliwq.ParseEffort(effort); err == nil {
+		effort = e.String()
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "m=%s;u=%t;f=%d;s=%s;mv=%t;cl=%d;sv=%t;",
+	fmt.Fprintf(&b, "m=%s;u=%t;f=%d;s=%s;mv=%t;cl=%d;sv=%t;e=%s;",
 		req.Machine, req.Unroll, req.UnrollFactor, req.CopyShape,
-		req.AllowMoves, req.CommLatency, req.SkipVerify)
+		req.AllowMoves, req.CommLatency, req.SkipVerify, effort)
 	b.WriteString(req.Loop)
 	return b.String()
 }
@@ -269,6 +297,7 @@ func (s *Server) compute(ctx context.Context, req *CompileRequest, opts vliwq.Op
 	}
 	s.opsScheduled.Add(int64(len(res.Sched.Loop.Ops)))
 	s.iiSum.Add(int64(res.II))
+	s.strategyWins[res.Sched.Strategy].Add(1)
 	return outcome{resp: &CompileResponse{
 		Loop:       loop.Name,
 		Machine:    res.Sched.Machine.Name,
@@ -280,6 +309,8 @@ func (s *Server) compute(ctx context.Context, req *CompileRequest, opts vliwq.Op
 		IPCDynamic: res.IPCDynamic,
 		Queues:     res.Queues,
 		RingQueues: res.RingQueues,
+		Effort:     opts.Sched.Effort.String(),
+		Strategy:   res.Strategy,
 		Report:     res.Report(),
 		Kernel:     res.KernelSchedule(),
 	}}
@@ -400,6 +431,14 @@ func (s *Server) Stats() StatsResponse {
 			OpsScheduled: s.opsScheduled.Load(),
 			IISum:        s.iiSum.Load(),
 		},
+	}
+	for i := range s.strategyWins {
+		if n := s.strategyWins[i].Load(); n > 0 {
+			if st.Sched.StrategyWins == nil {
+				st.Sched.StrategyWins = make(map[string]int64, len(s.strategyWins))
+			}
+			st.Sched.StrategyWins[sched.Strategy(i).String()] = n
+		}
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()

@@ -94,6 +94,27 @@ func ParseMachine(spec string) (Machine, error) {
 // ReadLoop reads a loop in the text format from r.
 func ReadLoop(r io.Reader) (*Loop, error) { return ir.Parse(r) }
 
+// Effort selects the scheduler's search breadth: how many partition
+// strategies the portfolio scheduler races per candidate II (see
+// internal/sched). The zero value, EffortFast, is the single baseline
+// heuristic — bit-for-bit the historical scheduler.
+type Effort = sched.Effort
+
+// Effort levels, re-exported for callers configuring Options.Sched.
+const (
+	EffortFast       = sched.EffortFast
+	EffortBalanced   = sched.EffortBalanced
+	EffortExhaustive = sched.EffortExhaustive
+)
+
+// ParseEffort maps an effort name ("fast", "balanced", "exhaustive"; ""
+// means fast) to its value. The error lists the valid names sorted — the
+// service and the cmds surface it verbatim.
+func ParseEffort(name string) (Effort, error) { return sched.ParseEffort(name) }
+
+// EffortNames returns every effort name, sorted.
+func EffortNames() []string { return sched.EffortNames() }
+
 // Options control the compilation pipeline.
 type Options struct {
 	// Machine is the target; the zero value selects SingleCluster(6).
@@ -132,6 +153,12 @@ type Result struct {
 	IPCDynamic float64
 	Queues     int // max private queues used in any cluster
 	RingQueues int // max ring queues used on any directed link
+
+	// Strategy names the cluster-assignment strategy that produced the
+	// schedule ("baseline" unless a portfolio raced alternatives), so
+	// portfolio wins are observable wherever results flow — reports, the
+	// service's responses and /stats, the experiment sweeps.
+	Strategy string
 }
 
 // Compile runs the full pipeline on one loop: (optional) unrolling, copy
@@ -232,6 +259,7 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error)
 		IPCDynamic: metrics.IPCDynamic(s, iters),
 		Queues:     alloc.MaxPrivateQueues(),
 		RingQueues: alloc.MaxRingQueues(),
+		Strategy:   s.Strategy.String(),
 	}, nil
 }
 
@@ -278,6 +306,12 @@ func (r *Result) Report() string {
 	}
 	fmt.Fprintf(&b, "  II=%d (ResMII=%d RecMII=%d)  stages=%d  length=%d\n",
 		s.II, s.ResMII, s.RecMII, r.StageCount, s.Length())
+	if s.Stats.StrategiesTried > 0 {
+		// Only portfolio runs print this line, so fast-effort output stays
+		// byte-identical to the historical reports (and their goldens).
+		fmt.Fprintf(&b, "  portfolio: %d strategies raced, %s won\n",
+			s.Stats.StrategiesTried, s.Strategy)
+	}
 	fmt.Fprintf(&b, "  IPC static=%.2f dynamic=%.2f\n", r.IPCStatic, r.IPCDynamic)
 	fmt.Fprintf(&b, "  queues: private<=%d per cluster, ring<=%d per link, max depth %d\n",
 		r.Queues, r.RingQueues, r.Alloc.MaxDepth())
