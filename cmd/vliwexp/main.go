@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"vliwq"
 	"vliwq/internal/corpus"
@@ -47,11 +48,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vliwexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", "experiment to run: all (the paper's evaluation; excludes portfolio), or one of "+names())
-		n       = fs.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
-		seed    = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
-		workers = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		effort  = fs.String("effort", "fast", "scheduler effort for every experiment: fast, balanced or exhaustive")
+		fig        = fs.String("fig", "all", "experiment to run: all (the paper's evaluation; excludes portfolio), or one of "+names())
+		n          = fs.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
+		seed       = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		effort     = fs.String("effort", "fast", "scheduler effort for every experiment: fast, balanced or exhaustive")
+		stageTimes = fs.Bool("stage-times", false, "after the experiments, print per-stage compile wall-clock totals")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Loops:   corpus.Generate(corpus.Params{Seed: *seed, N: *n}),
 		Workers: *workers,
 		Effort:  eff,
+		// One explicit pipeline for the whole run, so -stage-times can
+		// read the per-stage clocks afterwards (RunAll would otherwise
+		// install a private one).
+		Pipeline: exp.NewPipeline(),
 	}
 	// Only the portfolio sweep consumes the stressed preset; other figures
 	// must not pay its generation. -n bounds it so smoke runs stay small;
@@ -88,10 +94,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "corpus: %d loops (seed %d)\n\n", *n, *seed)
 	if *fig == "all" {
 		exp.RunAll(stdout, opts)
-		return 0
+	} else {
+		fn(opts).Fprint(stdout)
 	}
-	fn(opts).Fprint(stdout)
+	if *stageTimes {
+		printStageTimes(stdout, opts.Pipeline)
+	}
 	return 0
+}
+
+// printStageTimes renders the pipeline's per-stage compile clocks in stage
+// order — where a sweep's distinct compilations actually spent their time
+// (cache hits cost nothing and are excluded by construction).
+func printStageTimes(stdout io.Writer, p *exp.Pipeline) {
+	nanos := p.StageNanos()
+	fmt.Fprint(stdout, "stage times (distinct compilations):")
+	for _, name := range []string{"unroll", "copies", "schedule", "alloc"} {
+		if d, ok := nanos[name]; ok {
+			fmt.Fprintf(stdout, " %s=%s", name, time.Duration(d).Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintln(stdout)
 }
 
 func names() string {

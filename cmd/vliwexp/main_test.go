@@ -53,6 +53,29 @@ func TestRunAllFiguresSmoke(t *testing.T) {
 	}
 }
 
+// TestRunStageTimes: -stage-times appends the per-stage compile clock
+// line after the tables; the default run must not print it (the goldens
+// above pin that).
+func TestRunStageTimes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fig", "fig3", "-n", "8", "-stage-times"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "stage times (distinct compilations):") ||
+		!strings.Contains(out, "schedule=") {
+		t.Fatalf("missing stage-times line:\n%s", out)
+	}
+	var plain bytes.Buffer
+	if code := run([]string{"-fig", "fig3", "-n", "8"}, &plain, &stderr); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if strings.Contains(plain.String(), "stage times") {
+		t.Fatal("stage times printed without the flag")
+	}
+}
+
 // TestRunBadFlags is the satellite fix's contract: unknown -fig exits
 // non-zero with the sorted figure list on stderr, and non-positive -n is
 // rejected instead of generating an empty corpus.

@@ -195,6 +195,7 @@ func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
 			fmt.Fprintf(stdout, "backend %s: %s, served=%d (%.1f%%) owned=%d failovers=%d hits=%d misses=%d\n",
 				b.URL, health, b.Served, share, b.Owned, b.Failovers, b.Cache.Hits, b.Cache.Misses)
 		}
+		printMachines(stdout, gst.TotalSched.Machines)
 		return
 	}
 	var st service.StatsResponse
@@ -204,6 +205,26 @@ func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
 	}
 	fmt.Fprintf(stdout, "server: %d compiles, cache hits=%d misses=%d entries=%d\n",
 		st.Sched.Compiles, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
+	printMachines(stdout, st.Sched.Machines)
+}
+
+// printMachines renders the per-machine-spec compile counts /stats now
+// carries — specs in the "single:<n>"/"clustered:<n>" notation
+// (machine.Config.Spec), sorted, instead of struct dumps.
+func printMachines(stdout io.Writer, machines map[string]int64) {
+	if len(machines) == 0 {
+		return
+	}
+	specs := make([]string, 0, len(machines))
+	for spec := range machines {
+		specs = append(specs, spec)
+	}
+	sort.Strings(specs)
+	fmt.Fprint(stdout, "machines:")
+	for _, spec := range specs {
+		fmt.Fprintf(stdout, " %s=%d", spec, machines[spec])
+	}
+	fmt.Fprintln(stdout)
 }
 
 // countLoops drains one response body and splits the call's loops into

@@ -8,17 +8,23 @@
 //
 //	vliwsched -kernel daxpy -machine clustered:4
 //	vliwsched -machine single:6 -unroll loop.txt
+//	vliwsched -dump-after unroll -unroll loop.txt   # stop early, print the artifact
 //	vliwsched -dot loop.txt > ddg.dot
 //
 // The loop file format is documented in internal/ir (op/carried/mem/order
 // directives); -kernel selects one of the built-in scientific kernels.
+// -dump-after runs the staged pipeline (vliwq.Compiler.RunUntil) only
+// through the named stage and prints that stage's artifact: the unrolled
+// body, the post-copy-insertion dependence graph, or the raw schedule.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"vliwq"
 	"vliwq/internal/copyins"
@@ -48,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		moves       = fs.Bool("moves", false, "enable the move-operation extension on clustered machines")
 		commLat     = fs.Int("commlat", 0, "inter-cluster communication latency in cycles")
 		effort      = fs.String("effort", "fast", "scheduler effort: fast, balanced or exhaustive (races partition strategies)")
+		dumpAfter   = fs.String("dump-after", "", "stop after a pipeline stage and print its artifact: "+strings.Join(vliwq.StageNames(), ", "))
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,6 +104,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *shape == "chain" {
 		opts.CopyShape = copyins.Chain
 	}
+
+	// -dump-after drives the request-centric staged API: the canonical
+	// Request for this invocation through Compiler.RunUntil — the same
+	// path vliwd serves. The full-compile path below stays on the
+	// loop-first shim instead: it already holds the parsed loop, and the
+	// Request's text round trip would rename anonymous ops (FormatLoop
+	// must name them to reference their dependences), changing the
+	// printed kernel table for kernels like fir5. Both paths run the
+	// identical staged engine.
+	if *dumpAfter != "" {
+		stage, err := vliwq.ParseStage(*dumpAfter)
+		if err != nil {
+			return fail(err)
+		}
+		compiler := vliwq.NewCompiler(vliwq.CompilerConfig{CacheEntries: -1})
+		res, err := compiler.RunUntil(context.Background(), vliwq.NewRequest(loop, opts), stage)
+		if err != nil {
+			return fail(err)
+		}
+		return dumpStage(stdout, stderr, res, stage, &cfg)
+	}
+
 	res, err := vliwq.Compile(loop, opts)
 	if err != nil {
 		return fail(err)
@@ -118,6 +147,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err := sched.EmitPipelined(stdout, res.Sched); err != nil {
 			return fail(err)
 		}
+	}
+	return 0
+}
+
+// dumpStage prints the artifact the staged run stopped at: the loop body
+// after unrolling or copy insertion (in the text format, ready to feed
+// back into the tool), the raw schedule, the queue allocation, or — after
+// a full verify run — the standard report.
+func dumpStage(stdout, stderr io.Writer, res *vliwq.Result, stage vliwq.Stage, cfg *vliwq.Machine) int {
+	fmt.Fprintf(stdout, "# after %s on %s\n", stage, cfg.Spec())
+	switch stage {
+	case vliwq.StageUnroll:
+		fmt.Fprintf(stdout, "# unrolled x%d (%d ops)\n", res.Unrolled, len(res.AfterUnroll.Ops))
+		fmt.Fprint(stdout, vliwq.FormatLoop(res.AfterUnroll))
+	case vliwq.StageCopies:
+		fmt.Fprintf(stdout, "# dependence graph after copy insertion (%d ops)\n", len(res.AfterCopies.Ops))
+		fmt.Fprint(stdout, vliwq.FormatLoop(res.AfterCopies))
+	case vliwq.StageSchedule:
+		s := res.Sched
+		fmt.Fprintf(stdout, "# II=%d (ResMII=%d RecMII=%d) strategy=%s\n", s.II, s.ResMII, s.RecMII, res.Strategy)
+		fmt.Fprint(stdout, res.KernelSchedule())
+	case vliwq.StageAlloc:
+		fmt.Fprintf(stdout, "# queues: private<=%d per cluster, ring<=%d per link\n", res.Queues, res.RingQueues)
+		for _, f := range res.Alloc.Files {
+			fmt.Fprintf(stdout, "%-12v %d queues, depths %v\n", f.Loc, f.Queues, f.MaxOccupancy)
+		}
+	case vliwq.StageVerify:
+		fmt.Fprint(stdout, res.Report())
+	default:
+		fmt.Fprintf(stderr, "vliwsched: no artifact for stage %s\n", stage)
+		return 1
 	}
 	return 0
 }

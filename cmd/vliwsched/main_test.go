@@ -74,6 +74,50 @@ func TestRunEffortPortfolio(t *testing.T) {
 	}
 }
 
+// TestRunDumpAfter drives the staged pipeline (-dump-after → RunUntil)
+// through every cutoff: the unroll and copies artifacts must come back in
+// the loop text format (re-parseable), the schedule dump must carry the
+// kernel table, and an unknown stage fails with the sorted stage list.
+func TestRunDumpAfter(t *testing.T) {
+	base := []string{"-kernel", "daxpy", "-machine", "clustered:4", "-unroll"}
+	run1 := func(args ...string) (int, string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run(append(append([]string{}, base...), args...), strings.NewReader(""), &stdout, &stderr)
+		return code, stdout.String(), stderr.String()
+	}
+
+	code, out, errOut := run1("-dump-after", "unroll")
+	if code != 0 {
+		t.Fatalf("dump-after unroll: exit %d, stderr %s", code, errOut)
+	}
+	if !strings.Contains(out, "# after unroll on clustered:4") || !strings.Contains(out, "loop daxpy") {
+		t.Fatalf("unroll dump not in loop text format:\n%s", out)
+	}
+	if strings.Contains(out, "II=") {
+		t.Fatalf("unroll dump ran the scheduler:\n%s", out)
+	}
+
+	code, out, _ = run1("-dump-after", "copies")
+	if code != 0 || !strings.Contains(out, "after copy insertion") || !strings.Contains(out, "copy") {
+		t.Fatalf("copies dump (exit %d):\n%s", code, out)
+	}
+
+	code, out, _ = run1("-dump-after", "schedule")
+	if code != 0 || !strings.Contains(out, "II=") || !strings.Contains(out, "cycle  0 |") {
+		t.Fatalf("schedule dump (exit %d):\n%s", code, out)
+	}
+
+	code, out, _ = run1("-dump-after", "alloc")
+	if code != 0 || !strings.Contains(out, "queues") {
+		t.Fatalf("alloc dump (exit %d):\n%s", code, out)
+	}
+
+	code, _, errOut = run1("-dump-after", "parse")
+	if code == 0 || !strings.Contains(errOut, "unknown stage \"parse\" (valid: alloc, copies, schedule, unroll, verify)") {
+		t.Fatalf("unknown stage: exit %d, stderr %s", code, errOut)
+	}
+}
+
 func TestRunListKernels(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, strings.NewReader(""), &stdout, &stderr); code != 0 {

@@ -7,10 +7,15 @@
 // enables the move-operation extension (the paper's §5 future work) to
 // show values hopping between non-adjacent clusters.
 //
+// Everything runs through one vliwq.Compiler session: machine targets are
+// the "single:<n>"/"clustered:<n>" specs requests carry on the wire, and
+// the session cache means a repeated request would not recompile.
+//
 // Run with: go run ./examples/clustered
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,18 +27,23 @@ import (
 
 func main() {
 	loop := corpus.Hydro()
+	src := vliwq.FormatLoop(loop)
 	fmt.Printf("kernel %s: %d ops\n\n", loop.Name, len(loop.Ops))
 
+	compiler := vliwq.NewCompiler(vliwq.CompilerConfig{})
+	ctx := context.Background()
 	for _, nc := range []int{4, 5, 6} {
-		single, err := vliwq.Compile(loop, vliwq.Options{
-			Machine: vliwq.SingleCluster(3 * nc),
+		single, err := compiler.Run(ctx, vliwq.Request{
+			Loop:    src,
+			Machine: fmt.Sprintf("single:%d", 3*nc),
 			Unroll:  true,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		clustered, err := vliwq.Compile(loop, vliwq.Options{
-			Machine: vliwq.Clustered(nc),
+		clustered, err := compiler.Run(ctx, vliwq.Request{
+			Loop:    src,
+			Machine: fmt.Sprintf("clustered:%d", nc),
 			Unroll:  true,
 		})
 		if err != nil {
@@ -59,10 +69,13 @@ func main() {
 	}
 
 	// Move extension: allow non-adjacent communication through chains of
-	// move operations on the COPY units.
-	cfg := vliwq.Clustered(6)
-	cfg.AllowMoves = true
-	res, err := vliwq.Compile(loop, vliwq.Options{Machine: cfg, Unroll: true})
+	// move operations on the COPY units — one request field away.
+	res, err := compiler.Run(ctx, vliwq.Request{
+		Loop:       src,
+		Machine:    "clustered:6",
+		Unroll:     true,
+		AllowMoves: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,10 +6,16 @@
 // queues with the Q-Compatibility test, and verifies the schedule by
 // cycle-accurate simulation against sequential execution.
 //
+// The example drives the request-centric API: a vliwq.Compiler session
+// running vliwq.Requests — the same canonical request type the vliwd
+// service accepts on the wire, so everything below could be POSTed to
+// /compile verbatim.
+//
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,13 +34,13 @@ op st store s
 `
 
 func main() {
-	loop, err := vliwq.ParseLoop(daxpy)
-	if err != nil {
-		log.Fatal(err)
-	}
+	compiler := vliwq.NewCompiler(vliwq.CompilerConfig{})
+	ctx := context.Background()
 
-	// Single-cluster machine with 6 FUs (2 L/S, 2 ADD, 2 MUL + copy units).
-	res, err := vliwq.Compile(loop, vliwq.Options{Machine: vliwq.SingleCluster(6)})
+	// Single-cluster machine with 6 FUs (2 L/S, 2 ADD, 2 MUL + copy
+	// units) — "single:6", which is also the default an empty machine
+	// spec normalizes to.
+	res, err := compiler.Run(ctx, vliwq.Request{Loop: daxpy, Machine: "single:6"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +50,7 @@ func main() {
 
 	// The same loop on the paper's 4-cluster machine (12 FUs): the
 	// partitioner distributes the operations across the ring.
-	res4, err := vliwq.Compile(loop, vliwq.Options{Machine: vliwq.Clustered(4)})
+	res4, err := compiler.Run(ctx, vliwq.Request{Loop: daxpy, Machine: "clustered:4"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,4 +58,11 @@ func main() {
 	fmt.Print(res4.Report())
 	fmt.Println("\nkernel (one column per cluster):")
 	fmt.Print(res4.KernelSchedule())
+
+	// Every stage of the pipeline ran and was timed; the vliwd service
+	// aggregates exactly these timings fleet-wide in /stats.
+	fmt.Println("\npipeline stages executed:")
+	for _, st := range res4.Stages {
+		fmt.Printf("  %s\n", st.Stage)
+	}
 }

@@ -8,10 +8,14 @@
 // recurrence-bound loop (horner) is shown for contrast: unrolling cannot
 // help it, because a circuit's latency-to-distance ratio is invariant.
 //
+// The sweep runs through a vliwq.Compiler session, and the staged API
+// (RunUntil) is used to inspect the unrolled body without scheduling it.
+//
 // Run with: go run ./examples/unrolling
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,20 +27,23 @@ import (
 
 func main() {
 	machine := vliwq.SingleCluster(6)
+	compiler := vliwq.NewCompiler(vliwq.CompilerConfig{Machine: machine.Spec()})
+	ctx := context.Background()
 
 	sweep := func(name string) {
 		loop := corpus.KernelByName(name)
 		if loop == nil {
 			log.Fatalf("kernel %s missing", name)
 		}
-		base, err := vliwq.Compile(loop, vliwq.Options{Machine: machine})
+		src := vliwq.FormatLoop(loop)
+		base, err := compiler.Run(ctx, vliwq.Request{Loop: src})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s on %s: base II=%d (ResMII=%d RecMII=%d)\n",
 			name, machine.Name, base.II, base.Sched.ResMII, base.Sched.RecMII)
 		for factor := 2; factor <= 6; factor++ {
-			res, err := vliwq.Compile(loop, vliwq.Options{Machine: machine, UnrollFactor: factor})
+			res, err := compiler.Run(ctx, vliwq.Request{Loop: src, UnrollFactor: factor})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -45,7 +52,17 @@ func main() {
 				factor, res.II, float64(res.II)/float64(factor), speedup, res.Queues)
 		}
 		auto := unroll.AutoFactor(loop, machine)
-		fmt.Printf("  auto-selected factor: %d\n\n", auto)
+		fmt.Printf("  auto-selected factor: %d\n", auto)
+
+		// The staged API stops the pipeline after unrolling: the partial
+		// Result carries the replicated body but no schedule yet.
+		partial, err := compiler.RunUntil(ctx,
+			vliwq.Request{Loop: src, Unroll: true}, vliwq.StageUnroll)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  after the %s stage at the auto factor: x%d, %d ops (not yet scheduled: %v)\n\n",
+			vliwq.StageUnroll, partial.Unrolled, len(partial.AfterUnroll.Ops), partial.Sched == nil)
 	}
 
 	sweep("stencil3") // resource-bound, fractional L/S slack: unrolling pays

@@ -30,12 +30,13 @@ import (
 const snapshotMagic = "VQCS"
 
 // snapshotVersion is bumped when the payload layout changes — or when the
-// meaning of the stored keys changes: v2 marks service.CanonicalKey's
-// effort segment ("e=..."), so a pre-portfolio snapshot is rejected at
-// load (a logged cold start) instead of warm-starting a cache full of
-// entries no new request can ever hit. Load rejects versions it does not
-// know.
-const snapshotVersion = 2
+// meaning of the stored keys changes: v2 marked the canonical key's effort
+// segment ("e=..."); v3 marks the switch to vliwq.Request.Canonical(),
+// whose normalized "rq1;..." encoding replaced the raw-field
+// service.CanonicalKey. Either way a stale snapshot is rejected at load (a
+// logged cold start) instead of warm-starting a cache full of entries no
+// new request can ever hit. Load rejects versions it does not know.
+const snapshotVersion = 3
 
 // maxSnapshotRecord caps one encoded key or value at 64 MiB. The cap exists
 // so a corrupt length prefix fails with a clear error instead of a huge

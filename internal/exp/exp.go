@@ -11,8 +11,11 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
+	"vliwq"
 	"vliwq/internal/cache"
 	"vliwq/internal/copyins"
 	"vliwq/internal/corpus"
@@ -128,6 +131,13 @@ type pipeOpts struct {
 // distinct compilation runs exactly once behind its entry's sync.Once.
 type Pipeline struct {
 	c *cache.Cache[pipeKey, compiled]
+
+	// stageNanos accumulates, per vliwq.Stage, the wall-clock time actual
+	// compilations (cache misses) spent in that stage — the same
+	// observability the staged facade engine reports in Result.Stages,
+	// threaded through the experiment sweeps so `vliwexp -stage-times`
+	// can show where a figure run's time went.
+	stageNanos [vliwq.NumStages]atomic.Int64
 }
 
 // NewPipeline returns an empty, unbounded compilation cache.
@@ -137,6 +147,25 @@ func NewPipeline() *Pipeline {
 
 // Stats snapshots the cache counters (hits, misses, entries).
 func (p *Pipeline) Stats() cache.Stats { return p.c.Stats() }
+
+// record adds one stage's wall-clock cost; a nil Pipeline drops it.
+func (p *Pipeline) record(st vliwq.Stage, t0 time.Time) {
+	if p != nil {
+		p.stageNanos[st].Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// StageNanos reports the accumulated per-stage compile time, keyed by
+// stage name (vliwq.Stage.String). Only stages with nonzero time appear.
+func (p *Pipeline) StageNanos() map[string]int64 {
+	out := make(map[string]int64, len(p.stageNanos))
+	for i := range p.stageNanos {
+		if n := p.stageNanos[i].Load(); n > 0 {
+			out[vliwq.Stage(i).String()] = n
+		}
+	}
+	return out
+}
 
 // hashPipeKey spreads compilations over cache shards. Loop names are unique
 // within a corpus and carry most of the entropy; the config digest and the
@@ -223,10 +252,10 @@ func optsKey(po pipeOpts) pipeOptsKey {
 // configuration once.
 func (p *Pipeline) compile(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
 	if p == nil {
-		return compileLoop(l, cfg, po)
+		return compileLoop(l, cfg, po, nil)
 	}
 	k := pipeKey{loop: l, cfg: configDigest(&cfg), opts: optsKey(po)}
-	return p.c.Do(k, func() compiled { return compileLoop(l, cfg, po) })
+	return p.c.Do(k, func() compiled { return compileLoop(l, cfg, po, p) })
 }
 
 // compiler binds (cfg, po) and returns the per-loop compile function the
@@ -243,20 +272,22 @@ func (o Options) compiler(cfg machine.Config, po pipeOpts) func(*ir.Loop) compil
 	}
 	p := o.Pipeline
 	if p == nil {
-		return func(l *ir.Loop) compiled { return compileLoop(l, cfg, po) }
+		return func(l *ir.Loop) compiled { return compileLoop(l, cfg, po, nil) }
 	}
 	cfgD := configDigest(&cfg)
 	optsD := optsKey(po)
 	return func(l *ir.Loop) compiled {
 		k := pipeKey{loop: l, cfg: cfgD, opts: optsD}
-		return p.c.Do(k, func() compiled { return compileLoop(l, cfg, po) })
+		return p.c.Do(k, func() compiled { return compileLoop(l, cfg, po, p) })
 	}
 }
 
-// compileLoop runs unroll -> copy insertion -> scheduling -> allocation.
-func compileLoop(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
+// compileLoop runs unroll -> copy insertion -> scheduling -> allocation,
+// stamping each stage's wall clock into p (nil drops the timings).
+func compileLoop(l *ir.Loop, cfg machine.Config, po pipeOpts, p *Pipeline) compiled {
 	c := compiled{Loop: l, Factor: 1}
 	work := l
+	t0 := time.Now()
 	if po.unroll {
 		fm := cfg
 		if po.factorFrom != nil {
@@ -270,21 +301,28 @@ func compileLoop(l *ir.Loop, cfg machine.Config, po pipeOpts) compiled {
 		}
 		work = u
 	}
+	p.record(vliwq.StageUnroll, t0)
 	if po.copies {
+		t0 = time.Now()
 		ins, err := copyins.Insert(work, po.shape)
 		if err != nil {
 			c.Err = err
 			return c
 		}
 		work = ins.Loop
+		p.record(vliwq.StageCopies, t0)
 	}
+	t0 = time.Now()
 	s, err := sched.ScheduleLoop(work, cfg, po.schedOpts)
 	if err != nil {
 		c.Err = err
 		return c
 	}
 	c.Sched = s
+	p.record(vliwq.StageSchedule, t0)
+	t0 = time.Now()
 	c.Alloc = queue.Allocate(s)
+	p.record(vliwq.StageAlloc, t0)
 	return c
 }
 

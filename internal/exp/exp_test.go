@@ -245,7 +245,7 @@ func TestForEachOrderAndParallelism(t *testing.T) {
 func TestCompileLoopFactorFrom(t *testing.T) {
 	l := corpus.Stencil3()
 	single := machine.SingleCluster(12)
-	c := compileLoop(l, machine.Clustered(4), pipeOpts{unroll: true, copies: true, factorFrom: &single})
+	c := compileLoop(l, machine.Clustered(4), pipeOpts{unroll: true, copies: true, factorFrom: &single}, nil)
 	if c.Err != nil {
 		t.Fatal(c.Err)
 	}

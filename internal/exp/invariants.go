@@ -46,7 +46,7 @@ func AblationInvariants(opts Options) *Table {
 			// The hoisted variant is a fresh per-call loop: its pointer key
 			// could never hit the shared cache again, so compiling it
 			// through the Pipeline would only pollute the memo.
-			hc := compileLoop(hoisted, cfg, pipeOpts{copies: true, shape: copyins.Tree})
+			hc := compileLoop(hoisted, cfg, pipeOpts{copies: true, shape: copyins.Tree}, nil)
 			if base.Err != nil || hc.Err != nil {
 				return res{}
 			}

@@ -116,3 +116,19 @@ func TestPipelineStatsCounters(t *testing.T) {
 		t.Fatalf("stats = %+v, want 1 miss, 1 hit, 1 entry", st)
 	}
 }
+
+// TestPipelineStageNanos: the per-stage clocks count actual compilations
+// only — a cache hit adds nothing — and key by the facade's stage names.
+func TestPipelineStageNanos(t *testing.T) {
+	p := NewPipeline()
+	l := corpus.Daxpy()
+	p.compile(l, machine.SingleCluster(4), pipeOpts{copies: true})
+	first := p.StageNanos()
+	if first["schedule"] <= 0 || first["alloc"] <= 0 || first["copies"] <= 0 {
+		t.Fatalf("stage nanos missing executed stages: %v", first)
+	}
+	p.compile(l, machine.SingleCluster(4), pipeOpts{copies: true}) // hit
+	if again := p.StageNanos()["schedule"]; again != first["schedule"] {
+		t.Fatalf("a cache hit advanced the schedule clock: %d -> %d", first["schedule"], again)
+	}
+}

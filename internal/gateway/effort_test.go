@@ -47,6 +47,15 @@ func TestGatewayEffortAffinityAndStrategyWins(t *testing.T) {
 	if wins != int64(n) {
 		t.Fatalf("aggregated strategy wins %v sum to %d, want %d", st.TotalSched.StrategyWins, wins, n)
 	}
+	// The new per-machine and per-stage observability aggregates too:
+	// every compile targeted clustered:4, and the fleet-summed stage
+	// clocks must cover the scheduling work.
+	if st.TotalSched.Machines["clustered:4"] != int64(n) {
+		t.Fatalf("aggregated machine counters %v, want clustered:4=%d", st.TotalSched.Machines, n)
+	}
+	if st.TotalSched.StageNanos["schedule"] <= 0 {
+		t.Fatalf("aggregated stage nanos missing schedule time: %v", st.TotalSched.StageNanos)
+	}
 
 	// The same corpus at a different effort is a different request set:
 	// routing still shards it, and the fleet compiles it once more —

@@ -2,8 +2,8 @@
 // router in front of N vliwd backends.
 //
 // Compilation is deterministic and every backend caches whole responses
-// under the canonical request key (service.CanonicalKey), so the win is not
-// load spreading alone — it is cache affinity. The gateway hashes the
+// under the canonical request key (vliwq.Request.Canonical), so the win is
+// not load spreading alone — it is cache affinity. The gateway hashes the
 // canonical key (FNV-1a, then a splitmix64 finalizer so the routing
 // decision is decorrelated from the backend cache's own shard selection)
 // and routes each request to backends[hash % N]; identical requests
@@ -154,9 +154,12 @@ func (g *Gateway) maxBatch() int {
 }
 
 // Route reports the ring slot owning one compile request: a stable mix of
-// the canonical key's FNV-1a hash, modulo the ring size. This is the whole
-// routing rule — no state, no coordination; determinism is what makes the
-// sharded caches effective.
+// the canonical key's (vliwq.Request.Canonical) FNV-1a hash, modulo the
+// ring size. This is the whole routing rule — no state, no coordination;
+// determinism is what makes the sharded caches effective. Canonical
+// normalizes before encoding, so every spelling of the same behaviour —
+// an omitted machine vs "single:6", an omitted copy shape vs "tree" —
+// routes to the one backend whose cache already holds the entry.
 //
 // The mix step matters: the backend cache selects its internal shard from
 // the low bits of the same FNV-1a hash, so routing on the raw hash would
@@ -164,7 +167,7 @@ func (g *Gateway) maxBatch() int {
 // of its shards (with N backends = the shard count, exactly one). The
 // splitmix64 finalizer decorrelates the two decisions.
 func (g *Gateway) Route(req *service.CompileRequest) int {
-	return int(mix64(cache.StringHash(service.CanonicalKey(req))) % uint64(len(g.backends)))
+	return int(mix64(cache.StringHash(req.Canonical())) % uint64(len(g.backends)))
 }
 
 // mix64 is the splitmix64 finalizer: a cheap bijective avalanche so every
@@ -500,6 +503,18 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 				st.TotalSched.StrategyWins = make(map[string]int64)
 			}
 			st.TotalSched.StrategyWins[name] += n
+		}
+		for name, n := range bs.Sched.StageNanos {
+			if st.TotalSched.StageNanos == nil {
+				st.TotalSched.StageNanos = make(map[string]int64)
+			}
+			st.TotalSched.StageNanos[name] += n
+		}
+		for spec, n := range bs.Sched.Machines {
+			if st.TotalSched.Machines == nil {
+				st.TotalSched.Machines = make(map[string]int64)
+			}
+			st.TotalSched.Machines[spec] += n
 		}
 	}
 	return st

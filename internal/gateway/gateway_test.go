@@ -93,7 +93,7 @@ func TestRouteDeterministic(t *testing.T) {
 			t.Fatalf("request %d routed inconsistently: %d, %d, %d", i, r1, r2, r3)
 		}
 		perSlot[r1]++
-		rawParity[r1][cache.StringHash(service.CanonicalKey(&reqs[i]))&1]++
+		rawParity[r1][cache.StringHash(reqs[i].Canonical())&1]++
 	}
 	if perSlot[0] == 0 || perSlot[1] == 0 {
 		t.Fatalf("routing degenerated: distribution %v over 56 requests", perSlot)
@@ -104,6 +104,30 @@ func TestRouteDeterministic(t *testing.T) {
 		}
 	}
 	t.Logf("distribution over 56 corpus requests: %v (raw-hash parities %v)", perSlot, rawParity)
+}
+
+// TestRouteCollapsesDefaultSpellings is the shard half of the
+// key-fragmentation regression: {"loop": L} and the fully spelled-out
+// default request must land on one gateway shard (and therefore one
+// backend cache), for every ring size. The historical raw-field
+// CanonicalKey violated this — the two spellings hashed apart.
+func TestRouteCollapsesDefaultSpellings(t *testing.T) {
+	loop := vliwq.FormatLoop(corpus.KernelByName("daxpy"))
+	bare := service.CompileRequest{Loop: loop}
+	spelled := service.CompileRequest{Loop: loop, Machine: "single:6", CopyShape: "tree", Effort: "fast"}
+	for _, n := range []int{2, 3, 5, 8} {
+		urls := make([]string, n)
+		for i := range urls {
+			urls[i] = "http://backend"
+		}
+		g, err := New(Config{Backends: urls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := g.Route(&bare), g.Route(&spelled); a != b {
+			t.Fatalf("%d backends: default spellings of one request routed apart (%d vs %d)", n, a, b)
+		}
+	}
 }
 
 // TestGatewayMatchesDirectService is the fidelity contract: for 56 corpus

@@ -109,6 +109,25 @@ func (c *Config) ComputeFUs() int {
 	return n
 }
 
+// Spec returns the machine in the "single:<fus>" / "clustered:<clusters>"
+// notation the tools and the vliwd service share, derived structurally: one
+// cluster reports its computation-FU count, several report the cluster
+// count. For configurations built by SingleCluster, Clustered or the
+// facade's ParseMachine the spec round-trips — ParseMachine(c.Spec())
+// rebuilds an identical Config — which is what lets stats reports and
+// request builders print a spec instead of dumping the struct. AllowMoves
+// and CommLatency are not part of the notation (requests carry them as
+// separate fields), and hand-assembled Configs with custom cluster mixes
+// only round-trip their shape, not their exact FU layout.
+func (c *Config) Spec() string {
+	// A communication ring marks a clustered machine even at one cluster
+	// (Clustered(1) has ring queues; SingleCluster never does).
+	if len(c.Clusters) > 1 || c.RingQueues > 0 {
+		return fmt.Sprintf("clustered:%d", len(c.Clusters))
+	}
+	return fmt.Sprintf("single:%d", c.ComputeFUs())
+}
+
 // RingDistance returns the minimal hop distance between clusters a and b on
 // the bidirectional ring.
 func (c *Config) RingDistance(a, b int) int {

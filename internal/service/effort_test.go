@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -22,15 +23,47 @@ func TestEffortInCanonicalKey(t *testing.T) {
 	fast.Effort = "fast"
 	exhaustive := base
 	exhaustive.Effort = "exhaustive"
-	if CanonicalKey(&base) != CanonicalKey(&fast) {
+	if base.Canonical() != fast.Canonical() {
 		t.Fatal(`omitted effort and "fast" are the same behaviour but keyed apart`)
 	}
-	if CanonicalKey(&base) == CanonicalKey(&exhaustive) {
+	if base.Canonical() == exhaustive.Canonical() {
 		t.Fatal("distinct effort levels collapsed to one key")
 	}
 	dup := base
-	if CanonicalKey(&dup) != CanonicalKey(&base) {
+	if dup.Canonical() != base.Canonical() {
 		t.Fatal("identical requests produced distinct keys")
+	}
+}
+
+// TestDefaultSpellingsShareOneCacheEntry is the key-fragmentation
+// regression test: {"loop": L} and {"loop": L, "machine": "single:6",
+// "copy_shape": "tree"} are the same behaviour, and under the historical
+// raw-field CanonicalKey they landed in two cache entries (and on two
+// gateway shards). Under Request.Canonical they must compile once and hit
+// once.
+func TestDefaultSpellingsShareOneCacheEntry(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	loop := vliwq.FormatLoop(corpus.KernelByName("daxpy"))
+	bare := CompileRequest{Loop: loop}
+	spelled := CompileRequest{Loop: loop, Machine: "single:6", CopyShape: "tree", Effort: "fast"}
+	if bare.Canonical() != spelled.Canonical() {
+		t.Fatalf("default spellings key apart:\n%q\nvs\n%q", bare.Canonical(), spelled.Canonical())
+	}
+
+	_, a := postJSON(t, ts.Client(), ts.URL+"/compile", bare)
+	_, b := postJSON(t, ts.Client(), ts.URL+"/compile", spelled)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("spellings of one request answered differently:\n%s\nvs\n%s", a, b)
+	}
+	st := srv.Stats()
+	if st.Sched.Compiles != 1 {
+		t.Fatalf("pipeline ran %d times for one canonical request", st.Sched.Compiles)
+	}
+	if st.Cache.Misses != 1 || st.Cache.Hits != 1 {
+		t.Fatalf("cache saw misses=%d hits=%d, want exactly 1/1", st.Cache.Misses, st.Cache.Hits)
 	}
 }
 

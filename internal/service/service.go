@@ -9,10 +9,11 @@
 //	GET  /healthz  liveness probe
 //	GET  /stats    request, scheduler and cache counters
 //
-// Compilation is deterministic, so responses are cacheable: the cache key is
-// the canonical request (machine spec, pipeline flags, loop text) and each
-// distinct request compiles exactly once per cache lifetime — concurrent
-// identical requests share one compute via the cache's per-entry sync.Once.
+// Compilation is deterministic, so responses are cacheable: the cache key
+// is vliwq.Request.Canonical() — the one canonical request encoding the
+// library, this service and the gateway share — and each distinct request
+// compiles exactly once per cache lifetime; concurrent identical requests
+// share one compute via the cache's per-entry sync.Once.
 package service
 
 import (
@@ -22,13 +23,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"vliwq"
 	"vliwq/internal/cache"
-	"vliwq/internal/copyins"
 	"vliwq/internal/pool"
 	"vliwq/internal/sched"
 )
@@ -52,23 +52,13 @@ type Config struct {
 }
 
 // CompileRequest is the JSON body of POST /compile and each element of a
-// /batch request set. Loop is the text format internal/ir documents
-// (op/carried/mem/order directives); Machine is the "single:<n>" /
-// "clustered:<n>" spec, defaulting to single:6 like the library facade.
-type CompileRequest struct {
-	Loop         string `json:"loop"`
-	Machine      string `json:"machine,omitempty"`
-	Unroll       bool   `json:"unroll,omitempty"`
-	UnrollFactor int    `json:"unroll_factor,omitempty"`
-	CopyShape    string `json:"copy_shape,omitempty"` // "tree" (default) or "chain"
-	AllowMoves   bool   `json:"allow_moves,omitempty"`
-	CommLatency  int    `json:"comm_latency,omitempty"`
-	SkipVerify   bool   `json:"skip_verify,omitempty"`
-	// Effort selects the scheduler's portfolio breadth: "fast" (default),
-	// "balanced" or "exhaustive". Unknown values are rejected with HTTP
-	// 400 and the sorted list of valid names.
-	Effort string `json:"effort,omitempty"`
-}
+// /batch request set. It IS the library's canonical vliwq.Request — one
+// request encoding across library, cache, service and gateway — so the
+// wire format, the cache key (Request.Canonical) and the gateway's routing
+// key can never drift apart. Field semantics, defaults and validation live
+// on vliwq.Request; the service surfaces Normalize errors as HTTP 400 with
+// the sorted valid-value lists the library errors carry.
+type CompileRequest = vliwq.Request
 
 // CompileResponse carries the schedule and the headline metrics of one
 // compiled loop — the same numbers vliwq.Result reports, plus the rendered
@@ -121,6 +111,19 @@ type SchedStats struct {
 	// portfolio scheduler (the gateway sums these maps across backends).
 	// Only strategies with at least one win appear.
 	StrategyWins map[string]int64 `json:"strategy_wins,omitempty"`
+
+	// StageNanos sums, per pipeline stage name (vliwq.Stage), the
+	// wall-clock nanoseconds compiles spent in that stage — the staged
+	// engine's Result.Stages rolled up across every pipeline execution.
+	// Cache hits replay outcomes without re-running stages and are not
+	// recounted. The gateway sums these maps fleet-wide.
+	StageNanos map[string]int64 `json:"stage_nanos,omitempty"`
+
+	// Machines counts compiles per normalized machine spec
+	// (machine.Config.Spec notation, e.g. "clustered:4") so operators see
+	// which targets a backend actually compiles for, in the same spec
+	// notation requests use. The gateway sums these maps fleet-wide.
+	Machines map[string]int64 `json:"machines,omitempty"`
 }
 
 // StatsResponse is the JSON body of GET /stats.
@@ -147,10 +150,11 @@ type outcome struct {
 // Server is the vliwd HTTP service. Create one with New; it is safe for
 // concurrent use by any number of requests.
 type Server struct {
-	cfg   Config
-	cache *cache.Cache[string, outcome] // nil when caching is disabled
-	mux   *http.ServeMux
-	start time.Time
+	cfg      Config
+	compiler *vliwq.Compiler               // uncached session; the response cache below dedups
+	cache    *cache.Cache[string, outcome] // nil when caching is disabled
+	mux      *http.ServeMux
+	start    time.Time
 
 	compileRequests atomic.Int64
 	batchRequests   atomic.Int64
@@ -162,11 +166,24 @@ type Server struct {
 	opsScheduled  atomic.Int64
 	iiSum         atomic.Int64
 	strategyWins  [sched.NumStrategies]atomic.Int64
+	stageNanos    [vliwq.NumStages]atomic.Int64
+
+	machinesMu sync.Mutex
+	machines   map[string]int64 // compiles per normalized machine spec
 }
 
-// New builds a Server from cfg.
+// New builds a Server from cfg. The server runs an uncached
+// vliwq.Compiler session — the service caches whole rendered responses
+// (report and kernel strings included) under the same canonical key the
+// compiler would use, so a second cache underneath would only duplicate
+// every entry.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, start: time.Now()}
+	s := &Server{
+		cfg:      cfg,
+		compiler: vliwq.NewCompiler(vliwq.CompilerConfig{CacheEntries: -1}),
+		machines: make(map[string]int64),
+		start:    time.Now(),
+	}
 	if cfg.CacheEntries >= 0 {
 		s.cache = cache.New[string, outcome](
 			cache.Options{MaxEntries: cfg.CacheEntries}, cache.StringHash)
@@ -208,89 +225,13 @@ func (s *Server) maxBody() int64 {
 	return 4 << 20
 }
 
-// buildOptions validates the request knobs and maps them onto the facade's
-// Options. The error, if any, is a client error (HTTP 400).
-func buildOptions(req *CompileRequest) (vliwq.Options, error) {
-	spec := req.Machine
-	if spec == "" {
-		spec = "single:6"
-	}
-	m, err := vliwq.ParseMachine(spec)
-	if err != nil {
-		return vliwq.Options{}, err
-	}
-	m.AllowMoves = req.AllowMoves
-	if req.CommLatency < 0 {
-		return vliwq.Options{}, fmt.Errorf("negative comm_latency %d", req.CommLatency)
-	}
-	m.CommLatency = req.CommLatency
-	// The unroll factor multiplies the loop body; unchecked it lets a
-	// four-op request allocate hundreds of millions of ops. The library's
-	// automatic choice caps at 8, so 64 is generous for a forced factor.
-	if req.UnrollFactor < 0 || req.UnrollFactor > 64 {
-		return vliwq.Options{}, fmt.Errorf("unroll_factor %d out of range [0, 64]", req.UnrollFactor)
-	}
-	opts := vliwq.Options{
-		Machine:      m,
-		Unroll:       req.Unroll,
-		UnrollFactor: req.UnrollFactor,
-		SkipVerify:   req.SkipVerify,
-	}
-	switch req.CopyShape {
-	case "", "tree":
-		opts.CopyShape = copyins.Tree
-	case "chain":
-		opts.CopyShape = copyins.Chain
-	default:
-		return vliwq.Options{}, fmt.Errorf("unknown copy_shape %q (want tree or chain)", req.CopyShape)
-	}
-	// ParseEffort's error already carries the sorted list of valid values,
-	// mirroring the copy_shape/-fig UX; it reaches the client as HTTP 400.
-	eff, err := vliwq.ParseEffort(req.Effort)
-	if err != nil {
-		return vliwq.Options{}, err
-	}
-	opts.Sched.Effort = eff
-	if req.Loop == "" {
-		return vliwq.Options{}, errors.New("empty loop")
-	}
-	return opts, nil
-}
-
-// CanonicalKey canonicalizes a request into the cache key. Fields that
-// default (machine, shape) are normalized first by buildOptions validation,
-// but the key uses the raw strings plus every knob, so two requests collide
-// only when they are behaviourally identical. Effort is the exception: it
-// is normalized through ParseEffort (an omitted effort IS "fast", and the
-// two must share one cache entry and one gateway shard; an unparseable
-// effort keys on its raw string and is rejected with 400 downstream). The
-// gateway (internal/gateway) shards requests by a stable hash of this same
-// key, which is what makes its routing cache-affine: every replay of a
-// request lands on the backend that already holds the entry.
-func CanonicalKey(req *CompileRequest) string {
-	effort := req.Effort
-	if e, err := vliwq.ParseEffort(effort); err == nil {
-		effort = e.String()
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "m=%s;u=%t;f=%d;s=%s;mv=%t;cl=%d;sv=%t;e=%s;",
-		req.Machine, req.Unroll, req.UnrollFactor, req.CopyShape,
-		req.AllowMoves, req.CommLatency, req.SkipVerify, effort)
-	b.WriteString(req.Loop)
-	return b.String()
-}
-
-// compute runs the pipeline for one validated request and renders the
-// outcome. It feeds the scheduler counters; the cached path replays the
-// outcome without recounting.
-func (s *Server) compute(ctx context.Context, req *CompileRequest, opts vliwq.Options) outcome {
+// compute runs the pipeline for one normalized request and renders the
+// outcome. It feeds the scheduler counters — including the per-stage
+// wall-clock and per-machine-spec tallies the staged engine exposes; the
+// cached path replays the outcome without recounting.
+func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
 	s.compiles.Add(1)
-	loop, err := vliwq.ParseLoop(req.Loop)
-	if err != nil {
-		s.compileErrors.Add(1)
-		return outcome{err: err.Error()}
-	}
-	res, err := vliwq.CompileContext(ctx, loop, opts)
+	res, err := s.compiler.Run(ctx, req)
 	if err != nil {
 		s.compileErrors.Add(1)
 		return outcome{err: err.Error()}
@@ -298,8 +239,14 @@ func (s *Server) compute(ctx context.Context, req *CompileRequest, opts vliwq.Op
 	s.opsScheduled.Add(int64(len(res.Sched.Loop.Ops)))
 	s.iiSum.Add(int64(res.II))
 	s.strategyWins[res.Sched.Strategy].Add(1)
+	for _, st := range res.Stages {
+		s.stageNanos[st.Stage].Add(st.Duration.Nanoseconds())
+	}
+	s.machinesMu.Lock()
+	s.machines[req.Machine]++
+	s.machinesMu.Unlock()
 	return outcome{resp: &CompileResponse{
-		Loop:       loop.Name,
+		Loop:       res.Input.Name,
 		Machine:    res.Sched.Machine.Name,
 		Unrolled:   res.Unrolled,
 		II:         res.II,
@@ -309,7 +256,7 @@ func (s *Server) compute(ctx context.Context, req *CompileRequest, opts vliwq.Op
 		IPCDynamic: res.IPCDynamic,
 		Queues:     res.Queues,
 		RingQueues: res.RingQueues,
-		Effort:     opts.Sched.Effort.String(),
+		Effort:     req.Effort,
 		Strategy:   res.Strategy,
 		Report:     res.Report(),
 		Kernel:     res.KernelSchedule(),
@@ -320,22 +267,27 @@ func (s *Server) compute(ctx context.Context, req *CompileRequest, opts vliwq.Op
 // loop the pipeline rejects (HTTP 422).
 type clientError struct{ error }
 
-// compileOne serves one request through the cache. Cached computes run
-// under context.Background(): the result outlives the requesting client,
-// and a cancelled first requester must not poison the shared entry with a
-// context error. Uncached computes honour the caller's context.
+// compileOne serves one request through the cache, keyed by the request's
+// canonical encoding — the same key the gateway's hash ring routes on,
+// which is what keeps the fleet cache-affine. The request is normalized
+// first, so every spelling of the same behaviour ("" vs "single:6") lands
+// on one entry; Normalize errors are client errors (HTTP 400). Cached
+// computes run under context.Background(): the result outlives the
+// requesting client, and a cancelled first requester must not poison the
+// shared entry with a context error. Uncached computes honour the
+// caller's context.
 func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
-	opts, err := buildOptions(req)
-	if err != nil {
+	r := *req
+	if err := r.Normalize(); err != nil {
 		return nil, clientError{err}
 	}
 	var oc outcome
 	if s.cache != nil {
-		oc = s.cache.Do(CanonicalKey(req), func() outcome {
-			return s.compute(context.Background(), req, opts)
+		oc = s.cache.Do(r.Canonical(), func() outcome {
+			return s.compute(context.Background(), r)
 		})
 	} else {
-		oc = s.compute(ctx, req, opts)
+		oc = s.compute(ctx, r)
 	}
 	if oc.err != "" {
 		return nil, errors.New(oc.err)
@@ -440,6 +392,22 @@ func (s *Server) Stats() StatsResponse {
 			st.Sched.StrategyWins[sched.Strategy(i).String()] = n
 		}
 	}
+	for i := range s.stageNanos {
+		if n := s.stageNanos[i].Load(); n > 0 {
+			if st.Sched.StageNanos == nil {
+				st.Sched.StageNanos = make(map[string]int64, len(s.stageNanos))
+			}
+			st.Sched.StageNanos[vliwq.Stage(i).String()] = n
+		}
+	}
+	s.machinesMu.Lock()
+	if len(s.machines) > 0 {
+		st.Sched.Machines = make(map[string]int64, len(s.machines))
+		for spec, n := range s.machines {
+			st.Sched.Machines[spec] = n
+		}
+	}
+	s.machinesMu.Unlock()
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
 	}

@@ -116,7 +116,7 @@ func toItems(t testing.TB, reqs []CompileRequest) []vliwq.BatchItem {
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
-		opts, err := buildOptions(&reqs[i])
+		opts, err := reqs[i].Options()
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
@@ -278,6 +278,18 @@ func TestStatsCounters(t *testing.T) {
 	}
 	if st.Sched.Compiles != 1 || st.Sched.IISum < 1 || st.Sched.OpsScheduled < 1 {
 		t.Fatalf("sched counters: %+v", st.Sched)
+	}
+	// The staged engine's observability: per-stage wall clock (the compile
+	// ran schedule and alloc; it skipped verify) and per-machine-spec
+	// compile counts in normalized spec notation.
+	if st.Sched.StageNanos["schedule"] <= 0 || st.Sched.StageNanos["alloc"] <= 0 {
+		t.Fatalf("stage nanos missing compile stages: %v", st.Sched.StageNanos)
+	}
+	if _, ok := st.Sched.StageNanos["verify"]; ok {
+		t.Fatalf("verify stage timed on a skip_verify compile: %v", st.Sched.StageNanos)
+	}
+	if st.Sched.Machines["single:6"] != 1 || len(st.Sched.Machines) != 1 {
+		t.Fatalf("machine counters: %v", st.Sched.Machines)
 	}
 }
 

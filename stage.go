@@ -1,0 +1,81 @@
+package vliwq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stage names one phase of the compilation pipeline, in execution order.
+// The staged compiler API (Compiler.RunUntil, vliwsched -dump-after) uses
+// stages to stop the pipeline early and expose intermediate artifacts, and
+// Result.Stages reports per-stage wall-clock timings for observability
+// (the vliwd service aggregates them fleet-wide in /stats).
+type Stage uint8
+
+const (
+	// StageUnroll replicates the loop body: automatic factor selection
+	// (Options.Unroll) or a forced factor (Options.UnrollFactor).
+	StageUnroll Stage = iota
+	// StageCopies rewrites every multi-consumer value into a fanout tree
+	// of copy operations (internal/copyins) — queue register files destroy
+	// a value on read, so fanout must be materialized.
+	StageCopies
+	// StageSchedule runs partitioned iterative modulo scheduling
+	// (internal/sched), producing the kernel and cluster assignment.
+	StageSchedule
+	// StageAlloc maps values onto FIFO queues with the Q-Compatibility
+	// test (internal/queue) and computes the headline metrics.
+	StageAlloc
+	// StageVerify replays the pipelined schedule on the cycle-accurate
+	// simulator against sequential execution (skipped by
+	// Options.SkipVerify / Request.SkipVerify).
+	StageVerify
+	// NumStages is the number of pipeline stages.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageUnroll:   "unroll",
+	StageCopies:   "copies",
+	StageSchedule: "schedule",
+	StageAlloc:    "alloc",
+	StageVerify:   "verify",
+}
+
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", uint8(s))
+}
+
+// ParseStage maps a stage name to its value. The error lists the valid
+// names sorted — the cmds surface it verbatim.
+func ParseStage(name string) (Stage, error) {
+	for s, n := range stageNames {
+		if n == name {
+			return Stage(s), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown stage %q (valid: %s)", name, strings.Join(StageNames(), ", "))
+}
+
+// StageNames returns every stage name, sorted.
+func StageNames() []string {
+	out := make([]string, 0, NumStages)
+	for _, n := range stageNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StageTiming is one executed stage's wall-clock cost. Result.Stages
+// collects them in execution order; stages that did not run (verification
+// under SkipVerify, stages past a RunUntil cutoff) are absent.
+type StageTiming struct {
+	Stage    Stage
+	Duration time.Duration
+}

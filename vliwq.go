@@ -7,15 +7,25 @@
 //
 // This root package is the high-level facade; the building blocks live in
 // internal packages (ir, machine, sched, queue, copyins, unroll, sim,
-// metrics, exp) and are exercised directly by the examples and tools. A
-// typical use:
+// metrics, exp) and are exercised directly by the examples and tools.
+//
+// The primary API is request-centric: a Request is the canonical encoding
+// of one compilation (loop text plus every knob, with a deterministic
+// Canonical() key every cache and router shares), and a Compiler is a
+// configured session that runs Requests:
+//
+//	c := vliwq.NewCompiler(vliwq.CompilerConfig{})
+//	res, err := c.Run(ctx, vliwq.Request{Loop: src, Machine: "clustered:4", Unroll: true})
+//	fmt.Println(res.Report())
+//
+// Run returns the schedule, the queue allocation and the headline metrics,
+// after verifying the result on the cycle-accurate simulator; RunUntil
+// stops the pipeline at a chosen Stage and exposes its artifacts. The
+// loop-first helpers — Compile, CompileContext, CompileBatch — remain as
+// thin shims over the same staged engine:
 //
 //	loop, _ := vliwq.ParseLoop(src)
 //	res, err := vliwq.Compile(loop, vliwq.Options{Machine: vliwq.Clustered(4), Unroll: true})
-//	fmt.Println(res.Report())
-//
-// Compile returns the schedule, the queue allocation and the headline
-// metrics, after verifying the result on the cycle-accurate simulator.
 package vliwq
 
 import (
@@ -25,6 +35,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"vliwq/internal/copyins"
 	"vliwq/internal/ir"
@@ -138,12 +149,31 @@ type Options struct {
 }
 
 // Result is a compiled loop: the transformed body, its modulo schedule,
-// the queue allocation, and derived metrics.
+// the queue allocation, and derived metrics. A full run (Compile,
+// Compiler.Run) populates every field; a staged run (Compiler.RunUntil)
+// populates only the fields of the stages that executed — Sched is nil
+// before StageSchedule, Alloc and the headline metrics before StageAlloc —
+// and Report/KernelSchedule require at least StageAlloc/StageSchedule
+// respectively.
 type Result struct {
 	Input    *Loop // the loop as given
 	Unrolled int   // unroll factor applied (1 = none)
 	Sched    *sched.Schedule
 	Alloc    *queue.Allocation
+
+	// Per-stage artifacts: the loop body as each transformation stage left
+	// it. AfterUnroll is the input itself when no unrolling applied;
+	// AfterCopies is the dependence graph the scheduler consumed (when the
+	// move-op extension rewrites it further, Sched.Loop is the final
+	// body). Shared pointers — treat as read-only.
+	AfterUnroll *Loop
+	AfterCopies *Loop
+
+	// Stages records the wall-clock cost of every stage that executed, in
+	// execution order — the observability hook the vliwd service
+	// aggregates into /stats (stage_nanos) and vliwexp's -stage-times
+	// sweeps report.
+	Stages []StageTiming
 
 	// Headline metrics.
 	II         int
@@ -175,7 +205,21 @@ func Compile(l *Loop, opts Options) (*Result, error) {
 // (scheduling, allocation, verification) work and returns ctx.Err(). Long
 // batch runs — the service's /batch endpoint, CompileBatch — rely on this
 // to stop promptly when the client goes away.
+//
+// CompileContext is a thin shim over the staged engine Compiler sessions
+// drive (compileStaged): both paths run identical code, which is what pins
+// Compiler.Run output byte-for-byte to the historical Compile output.
 func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error) {
+	return compileStaged(ctx, l, opts, StageVerify)
+}
+
+// compileStaged is the pipeline engine: it runs the stages in order —
+// unroll, copy insertion, scheduling, queue allocation, verification —
+// stamping each executed stage's wall-clock cost into Result.Stages and
+// its artifact into the Result, and stops after `until` (StageVerify = the
+// full pipeline; SkipVerify ends a full run at StageAlloc). The context is
+// checked on entry and before the two expensive stages (schedule, verify).
+func compileStaged(ctx context.Context, l *Loop, opts Options, until Stage) (*Result, error) {
 	if l == nil {
 		return nil, fmt.Errorf("vliwq: nil loop")
 	}
@@ -189,7 +233,12 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error)
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
+	res := &Result{Input: l, Unrolled: 1}
+	stamp := func(st Stage, t0 time.Time) {
+		res.Stages = append(res.Stages, StageTiming{Stage: st, Duration: time.Since(t0)})
+	}
 
+	t0 := time.Now()
 	work := l
 	factor := 1
 	switch {
@@ -205,15 +254,28 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error)
 		}
 		work = u
 	}
+	res.Unrolled = factor
+	res.AfterUnroll = work
+	stamp(StageUnroll, t0)
+	if until <= StageUnroll {
+		return res, nil
+	}
 
+	t0 = time.Now()
 	ins, err := copyins.Insert(work, opts.CopyShape)
 	if err != nil {
 		return nil, err
+	}
+	res.AfterCopies = ins.Loop
+	stamp(StageCopies, t0)
+	if until <= StageCopies {
+		return res, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	t0 = time.Now()
 	s, err := sched.ScheduleLoop(ins.Loop, cfg, opts.Sched)
 	if err != nil {
 		return nil, err
@@ -221,15 +283,41 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error)
 	if err := s.Verify(); err != nil {
 		return nil, fmt.Errorf("vliwq: internal error: %w", err)
 	}
+	res.Sched = s
+	res.II = s.II
+	res.MII = s.MII()
+	res.StageCount = s.StageCount()
+	res.Strategy = s.Strategy.String()
+	stamp(StageSchedule, t0)
+	if until <= StageSchedule {
+		return res, nil
+	}
+
+	t0 = time.Now()
 	alloc := queue.Allocate(s)
 	if err := alloc.Verify(); err != nil {
 		return nil, fmt.Errorf("vliwq: internal error: %w", err)
+	}
+	res.Alloc = alloc
+	res.Queues = alloc.MaxPrivateQueues()
+	res.RingQueues = alloc.MaxRingQueues()
+	trip := l.TripCount()
+	iters := trip / factor
+	if iters < 1 {
+		iters = 1
+	}
+	res.IPCStatic = metrics.IPCStatic(s)
+	res.IPCDynamic = metrics.IPCDynamic(s, iters)
+	stamp(StageAlloc, t0)
+	if until <= StageAlloc {
+		return res, nil
 	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if !opts.SkipVerify {
+		t0 = time.Now()
 		n := opts.VerifyIterations
 		if n <= 0 {
 			n = s.Loop.TripCount()
@@ -240,27 +328,9 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error)
 		if err := sim.VerifyPipeline(s, alloc, n); err != nil {
 			return nil, fmt.Errorf("vliwq: verification failed: %w", err)
 		}
+		stamp(StageVerify, t0)
 	}
-
-	trip := l.TripCount()
-	iters := trip / factor
-	if iters < 1 {
-		iters = 1
-	}
-	return &Result{
-		Input:      l,
-		Unrolled:   factor,
-		Sched:      s,
-		Alloc:      alloc,
-		II:         s.II,
-		MII:        s.MII(),
-		StageCount: s.StageCount(),
-		IPCStatic:  metrics.IPCStatic(s),
-		IPCDynamic: metrics.IPCDynamic(s, iters),
-		Queues:     alloc.MaxPrivateQueues(),
-		RingQueues: alloc.MaxRingQueues(),
-		Strategy:   s.Strategy.String(),
-	}, nil
+	return res, nil
 }
 
 // BatchItem is one compilation request in a CompileBatch call.
