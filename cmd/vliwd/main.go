@@ -7,6 +7,7 @@
 //	vliwd                          # serve on :8391, cache bounded at 64Ki entries
 //	vliwd -addr 127.0.0.1:9000 -cache-entries 4096
 //	vliwd -cache-snapshot /var/lib/vliwd/cache.snap   # warm-start + persist
+//	vliwd -max-inflight 256 -slo 50ms    # shed past 256 in flight, degrade effort past 50ms
 //
 // With -cache-snapshot the daemon loads the snapshot on boot (a missing
 // file is a normal cold start; a corrupt one is logged and skipped) and
@@ -54,6 +55,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		workers  = flags.Int("workers", 0, "per-batch compile workers (0 = GOMAXPROCS)")
 		batch    = flags.Int("max-batch", 0, "max requests per /batch call (0 = 1024)")
 		snapshot = flags.String("cache-snapshot", "", "snapshot file: warm-start the cache on boot, persist it on shutdown")
+		inflight = flags.Int("max-inflight", 0, "admission bound: concurrent requests before shedding with 429 (0 disables)")
+		slo      = flags.Duration("slo", 0, "compile-latency SLO target driving the effort degradation ladder (0 disables)")
 	)
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -66,6 +69,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		CacheEntries: *entries,
 		Workers:      *workers,
 		MaxBatch:     *batch,
+		MaxInflight:  *inflight,
+		SLOTarget:    *slo,
 	})
 	if *snapshot != "" {
 		if err := warmStart(srv, *snapshot, stdout); err != nil {

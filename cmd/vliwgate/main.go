@@ -49,6 +49,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		backends = fs.String("backends", "", "comma-separated vliwd base URLs, in ring order (required)")
 		retries  = fs.Int("retries", 0, "ring-adjacent failover attempts per request (0 = 1, negative disables)")
 		timeout  = fs.Duration("timeout", 60*time.Second, "per-backend-request timeout")
+
+		breakerThreshold = fs.Int("breaker-threshold", 0, "consecutive failures opening a backend's circuit breaker (0 = 5, negative disables)")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open trial (0 = 2s)")
+		probeInterval    = fs.Duration("probe-interval", time.Second, "background breaker-prober period (0 disables the prober)")
+		probeTimeout     = fs.Duration("probe-timeout", 0, "healthz/stats fan-out bound when the request carries no deadline (0 = 5s)")
+		backoffBase      = fs.Duration("backoff", 0, "first inter-hop failover backoff, doubled with jitter per hop (0 = 10ms, negative disables)")
+		backoffMax       = fs.Duration("backoff-max", 0, "inter-hop backoff cap (0 = 250ms)")
+		hedge            = fs.Bool("hedge", false, "hedge /compile on the ring neighbour after the observed p99 latency")
+		hedgeMinDelay    = fs.Duration("hedge-min-delay", 0, "floor for the hedge delay (0 = 10ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,13 +73,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		return 2
 	}
 	gw, err := gateway.New(gateway.Config{
-		Backends: urls,
-		Retries:  *retries,
-		Timeout:  *timeout,
+		Backends:         urls,
+		Retries:          *retries,
+		Timeout:          *timeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		ProbeTimeout:     *probeTimeout,
+		BackoffBase:      *backoffBase,
+		BackoffMax:       *backoffMax,
+		Hedge:            *hedge,
+		HedgeMinDelay:    *hedgeMinDelay,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "vliwgate:", err)
 		return 2
+	}
+	if *probeInterval > 0 {
+		stopProber := gw.StartProber(*probeInterval)
+		defer stopProber()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

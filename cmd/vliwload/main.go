@@ -8,13 +8,18 @@
 // Any failed request — transport error, non-200 status, or a failed /batch
 // entry — is counted, reported on a dedicated "errors:" line, and turns
 // the exit status non-zero, so e2e pipelines cannot mistake a half-broken
-// run for a green one.
+// run for a green one. Load shed by the server (429, or 503 carrying
+// Retry-After) is not a failure: an admission-controlled backend saying
+// "not now" is the system working as designed, so sheds are counted on
+// their own, the advertised Retry-After is honored before the worker
+// resumes, and only hard failures turn the exit status non-zero.
 //
 // Usage:
 //
 //	vliwload -addr http://127.0.0.1:8391 -duration 5s -concurrency 8
 //	vliwload -addr http://127.0.0.1:8391 -batch 16 -machine clustered:4
 //	vliwload -addr http://127.0.0.1:8390   # a vliwgate: adds distribution
+//	vliwload -addr http://127.0.0.1:8390 -deadline 250ms   # per-request budget header
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,12 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		unrollReq   = fs.Bool("unroll", true, "request automatic unrolling")
 		verify      = fs.Bool("verify", false, "request simulator verification (heavier)")
 		effort      = fs.String("effort", "", "scheduler effort sent with every request (empty = server default)")
+		reqBudget   = fs.Duration("deadline", 0, "per-request deadline sent in the "+service.DeadlineHeader+" header (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *concurrency < 1 || *n < 1 || *duration <= 0 {
 		fmt.Fprintln(stderr, "vliwload: -concurrency, -n and -duration must be positive")
+		return 2
+	}
+	if *reqBudget < 0 {
+		fmt.Fprintln(stderr, "vliwload: -deadline must be non-negative")
 		return 2
 	}
 	if _, err := vliwq.ParseMachine(*machineSpec); err != nil {
@@ -94,8 +105,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		next      atomic.Int64
 		transport atomic.Int64 // connection/timeout errors
-		httpBad   atomic.Int64 // non-200 statuses
+		httpBad   atomic.Int64 // non-200 statuses other than shed answers
 		entryBad  atomic.Int64 // failed /batch entries inside 200 answers
+		shed      atomic.Int64 // 429 / Retry-After 503: admission control, not failure
 		loopsOK   atomic.Int64
 		wg        sync.WaitGroup
 		mu        sync.Mutex
@@ -112,9 +124,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			for time.Now().Before(deadline) {
 				b := bodies[int(next.Add(1))%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(path, "application/json", bytes.NewReader(b.data))
+				resp, err := post(client, path, b.data, *reqBudget)
 				if err != nil {
 					transport.Add(1)
+					continue
+				}
+				if wait, isShed := shedDelay(resp); isShed {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					shed.Add(1)
+					if until := time.Until(deadline); wait > until {
+						wait = until
+					}
+					if wait > 0 {
+						time.Sleep(wait)
+					}
 					continue
 				}
 				if resp.StatusCode != http.StatusOK {
@@ -142,7 +166,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	elapsed := time.Since(start)
 
 	if len(lats) == 0 {
-		fmt.Fprintf(stderr, "vliwload: no successful requests against %s (%d failures)\n", path, failed())
+		fmt.Fprintf(stderr, "vliwload: no successful requests against %s (%d failures, %d shed)\n",
+			path, failed(), shed.Load())
 		return 1
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -154,8 +179,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "latency: p50=%s p90=%s p99=%s max=%s\n",
 		pick(0.50).Round(time.Microsecond), pick(0.90).Round(time.Microsecond),
 		pick(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
-	fmt.Fprintf(stdout, "errors: %d (transport=%d http=%d entries=%d)\n",
-		failed(), transport.Load(), httpBad.Load(), entryBad.Load())
+	fmt.Fprintf(stdout, "errors: %d (transport=%d http=%d entries=%d) shed=%d\n",
+		failed(), transport.Load(), httpBad.Load(), entryBad.Load(), shed.Load())
 
 	reportStats(client, base, stdout, stderr)
 	if failed() > 0 {
@@ -163,6 +188,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// post issues one load request. With a positive budget it attaches the
+// service.DeadlineHeader the daemon and gateway both honor, so the whole
+// serving chain works against the client's deadline instead of its own
+// defaults.
+func post(client *http.Client, path string, data []byte, budget time.Duration) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if budget > 0 {
+		req.Header.Set(service.DeadlineHeader, budget.String())
+	}
+	return client.Do(req)
+}
+
+// shedDelay recognizes a load-shedding answer — 429, or 503 carrying a
+// Retry-After header — and returns how long the server asked the client to
+// back off. A bare 503 is a real failure (a dead or broken backend), not
+// shedding, and stays in the http error bucket.
+func shedDelay(resp *http.Response) (wait time.Duration, isShed bool) {
+	retryAfter := resp.Header.Get("Retry-After")
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+	case resp.StatusCode == http.StatusServiceUnavailable && retryAfter != "":
+	default:
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	return wait, true
 }
 
 // reportStats fetches /stats and prints the server's own counters. A

@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vliwq/internal/gateway"
 	"vliwq/internal/service"
@@ -116,6 +118,74 @@ func TestRunUnreachableServer(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "no successful requests") {
 		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunShedIsNotFailure drives a server that sheds a third of its
+// traffic with 429 and checks sheds land in their own counter: the report
+// still says "errors: 0", the shed count is visible, and the exit status
+// stays zero — admission control is not an outage.
+func TestRunShedIsNotFailure(t *testing.T) {
+	var calls, shed, deadlines atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if h := r.Header.Get(service.DeadlineHeader); h != "" {
+			if _, err := time.ParseDuration(h); err != nil {
+				t.Errorf("unparsable %s header %q", service.DeadlineHeader, h)
+			}
+			deadlines.Add(1)
+		}
+		if calls.Add(1)%3 == 0 {
+			shed.Add(1)
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"machine":"clustered:4"}`)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-duration", "200ms", "-concurrency", "2", "-n", "4",
+		"-deadline", "2s",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("shed traffic produced exit code %d\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "errors: 0 ") {
+		t.Fatalf("sheds counted as errors:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("shed=%d", shed.Load())) || shed.Load() == 0 {
+		t.Fatalf("report missing shed=%d:\n%s", shed.Load(), out)
+	}
+	if deadlines.Load() == 0 {
+		t.Fatalf("-deadline never reached the server as a %s header", service.DeadlineHeader)
+	}
+}
+
+// TestRunBare503IsFailure: a 503 without Retry-After is a broken backend,
+// not load shedding, and must keep failing the run.
+func TestRunBare503IsFailure(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-addr", ts.URL, "-duration", "200ms", "-concurrency", "2", "-n", "4",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("bare 503s produced exit code %d, want 1\nstdout: %s", code, stdout.String())
 	}
 }
 

@@ -156,6 +156,29 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	return e.val, true
 }
 
+// Forget drops the entry for k, if a completed one exists, and reports
+// whether it did. The serving layer uses it to un-memoize outcomes that
+// must not persist — a compile cancelled by one client's deadline would
+// otherwise answer every future request for that key with the first
+// caller's context error. An entry whose compute is still in flight is left
+// alone (removing it would strand the goroutines blocked on its sync.Once
+// with a value no future caller shares); callers retrying after a Forget
+// that returned false simply find the in-flight entry and share its fate.
+// Forgotten entries do not count as evictions — eviction measures capacity
+// pressure, not deliberate invalidation.
+func (c *Cache[K, V]) Forget(k K) bool {
+	sh := &c.shards[c.hash(k)&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.m[k]
+	if e == nil || !e.done.Load() {
+		return false
+	}
+	delete(sh.m, k)
+	c.entries.Add(-1)
+	return true
+}
+
 // evictLocked drops one completed entry from sh (random replacement via map
 // iteration order). Entries still computing are skipped: evicting one would
 // strand the goroutines blocked on its sync.Once with a value no future

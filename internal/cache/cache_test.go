@@ -163,3 +163,62 @@ func TestBoundedExactCap(t *testing.T) {
 		t.Fatalf("bounded cache settled at %d entries, want exactly %d", n, bound)
 	}
 }
+
+// TestForget: a forgotten key recomputes on next use, an unknown or
+// in-flight key is left alone, and counters reflect the removal without
+// charging an eviction.
+func TestForget(t *testing.T) {
+	c := New[string, int](Options{}, StringHash)
+	runs := 0
+	compute := func() int { runs++; return runs }
+
+	if c.Forget("k") {
+		t.Fatal("Forget reported success for a key never cached")
+	}
+	if v := c.Do("k", compute); v != 1 {
+		t.Fatalf("first Do = %d, want 1", v)
+	}
+	if !c.Forget("k") {
+		t.Fatal("Forget failed on a completed entry")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("entries after Forget = %d, want 0", n)
+	}
+	if v := c.Do("k", compute); v != 2 {
+		t.Fatalf("Do after Forget = %d, want a fresh compute (2)", v)
+	}
+	st := c.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("Forget charged %d evictions, want 0 (eviction measures capacity pressure)", st.Evictions)
+	}
+	if st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("misses=%d entries=%d after forget+recompute, want 2/1", st.Misses, st.Entries)
+	}
+}
+
+// TestForgetSkipsInFlight: an entry still computing cannot be forgotten —
+// the waiters blocked on it must all see the one computed value.
+func TestForgetSkipsInFlight(t *testing.T) {
+	c := New[string, int](Options{}, StringHash)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		done <- c.Do("k", func() int {
+			close(started)
+			<-release
+			return 7
+		})
+	}()
+	<-started
+	if c.Forget("k") {
+		t.Fatal("Forget removed an entry whose compute is in flight")
+	}
+	close(release)
+	if v := <-done; v != 7 {
+		t.Fatalf("in-flight compute returned %d, want 7", v)
+	}
+	if !c.Forget("k") {
+		t.Fatal("Forget failed after the compute completed")
+	}
+}

@@ -1,0 +1,163 @@
+// Package faults is a deterministic fault-injection layer for exercising
+// the serving stack's failure handling without flaky sleeps or real
+// network partitions. An Injector wraps any http.Handler (typically a
+// service.Server inside an httptest.Server) and perturbs requests on the
+// way through: latency spikes, 5xx error bursts, dropped connections, and
+// periodic flapping, all decided by the request ordinal and a seeded RNG so
+// a serial request stream sees exactly the same fault schedule on every
+// run.
+//
+// Two control styles compose:
+//
+//   - Modal: SetDown(true) makes every request fail until SetDown(false) —
+//     the knob breaker and failover tests flip to simulate an outage with
+//     cycle-exact boundaries.
+//   - Scheduled: Config's *Every fields fail/slow/drop every Nth request,
+//     and FailRate draws from the seeded RNG — the knobs chaos-style tests
+//     use for sustained, reproducible misbehaviour.
+//
+// The injector counts what it did (Counts), so tests can assert the fault
+// schedule actually fired instead of passing vacuously.
+package faults
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config schedules the faults an Injector injects. The zero value injects
+// nothing — every request passes through untouched.
+type Config struct {
+	// Seed seeds the RNG behind FailRate; the same seed over the same
+	// serial request sequence yields the same decisions.
+	Seed int64
+	// FailRate is the probability in [0, 1] that a request answers
+	// FailStatus instead of reaching the wrapped handler.
+	FailRate float64
+	// FailEvery fails every Nth request (1-based ordinal divisible by N);
+	// 0 disables. Deterministic regardless of concurrency.
+	FailEvery int
+	// FailStatus is the status injected failures answer; 0 means 503.
+	FailStatus int
+	// SlowEvery delays every Nth request by SlowBy before serving it
+	// normally; 0 disables.
+	SlowEvery int
+	// SlowBy is the injected delay for SlowEvery; 0 with SlowEvery set
+	// means 10ms.
+	SlowBy time.Duration
+	// DropEvery aborts every Nth request's connection mid-response (the
+	// client sees a transport error, not an HTTP status); 0 disables.
+	DropEvery int
+	// FlapEvery alternates the injector between up and down in runs of N
+	// requests: ordinals [N, 2N) fail, [2N, 3N) pass, and so on; 0
+	// disables.
+	FlapEvery int
+}
+
+// Counts reports what an Injector has injected so far.
+type Counts struct {
+	Requests int64 // total requests seen
+	Failed   int64 // answered with an injected error status
+	Dropped  int64 // connections aborted
+	Slowed   int64 // requests delayed
+}
+
+// Injector wraps an http.Handler with scheduled faults. Create one with
+// New; it is safe for concurrent use, though the *Every and FailRate
+// schedules are only exactly reproducible under a serial request stream.
+type Injector struct {
+	next http.Handler
+	cfg  Config
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	seq     atomic.Int64
+	down    atomic.Bool
+	failed  atomic.Int64
+	dropped atomic.Int64
+	slowed  atomic.Int64
+}
+
+// New wraps next with the fault schedule in cfg.
+func New(next http.Handler, cfg Config) *Injector {
+	if cfg.FailStatus == 0 {
+		cfg.FailStatus = http.StatusServiceUnavailable
+	}
+	if cfg.SlowEvery > 0 && cfg.SlowBy <= 0 {
+		cfg.SlowBy = 10 * time.Millisecond
+	}
+	return &Injector{next: next, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetDown switches the modal outage on or off: while down, every request
+// answers the configured failure status immediately.
+func (in *Injector) SetDown(down bool) { in.down.Store(down) }
+
+// Down reports whether the modal outage is on.
+func (in *Injector) Down() bool { return in.down.Load() }
+
+// Counts snapshots the injection counters.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Requests: in.seq.Load(),
+		Failed:   in.failed.Load(),
+		Dropped:  in.dropped.Load(),
+		Slowed:   in.slowed.Load(),
+	}
+}
+
+// ServeHTTP applies the schedule to one request: modal outage first, then
+// flapping, then the every-N and probabilistic rules, then (possibly
+// delayed) the wrapped handler.
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := in.seq.Add(1)
+	switch {
+	case in.down.Load():
+		in.fail(w)
+		return
+	case in.cfg.FlapEvery > 0 && (n/int64(in.cfg.FlapEvery))%2 == 1:
+		in.fail(w)
+		return
+	case in.cfg.FailEvery > 0 && n%int64(in.cfg.FailEvery) == 0:
+		in.fail(w)
+		return
+	case in.cfg.FailRate > 0 && in.draw() < in.cfg.FailRate:
+		in.fail(w)
+		return
+	case in.cfg.DropEvery > 0 && n%int64(in.cfg.DropEvery) == 0:
+		in.dropped.Add(1)
+		// Abort mid-response: promise a body, send a truncated prefix, then
+		// kill the connection. The truncation matters — a connection aborted
+		// before any response bytes is transparently replayed by net/http's
+		// idempotent-retry logic and the fault never reaches the caller,
+		// while a truncated body is a guaranteed read error (the failure
+		// shape of a backend crashing mid-reply).
+		w.Header().Set("Content-Length", "2")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("x"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	if in.cfg.SlowEvery > 0 && n%int64(in.cfg.SlowEvery) == 0 {
+		in.slowed.Add(1)
+		time.Sleep(in.cfg.SlowBy)
+	}
+	in.next.ServeHTTP(w, r)
+}
+
+func (in *Injector) fail(w http.ResponseWriter) {
+	in.failed.Add(1)
+	http.Error(w, "injected fault", in.cfg.FailStatus)
+}
+
+func (in *Injector) draw() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// okHandler answers 200 "ok" — the healthy backend every schedule perturbs.
+var okHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, "ok")
+})
+
+func get(t *testing.T, ts *httptest.Server) (int, error) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		return 0, err
+	}
+	_, rerr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		// A truncated body (injected drop) is a transport failure, not an
+		// HTTP answer.
+		return 0, rerr
+	}
+	return resp.StatusCode, nil
+}
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	in := New(okHandler, Config{})
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	for i := 0; i < 20; i++ {
+		status, err := get(t, ts)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("request %d: status %d err %v, want clean 200", i, status, err)
+		}
+	}
+	c := in.Counts()
+	if c.Requests != 20 || c.Failed != 0 || c.Dropped != 0 || c.Slowed != 0 {
+		t.Fatalf("zero config injected something: %+v", c)
+	}
+}
+
+func TestSetDownIsModal(t *testing.T) {
+	in := New(okHandler, Config{})
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+
+	in.SetDown(true)
+	if !in.Down() {
+		t.Fatal("Down() false after SetDown(true)")
+	}
+	for i := 0; i < 3; i++ {
+		if status, err := get(t, ts); err != nil || status != http.StatusServiceUnavailable {
+			t.Fatalf("down request %d: status %d err %v, want 503", i, status, err)
+		}
+	}
+	in.SetDown(false)
+	if status, err := get(t, ts); err != nil || status != http.StatusOK {
+		t.Fatalf("recovered request: status %d err %v, want 200", status, err)
+	}
+	if c := in.Counts(); c.Failed != 3 {
+		t.Fatalf("failed count %d, want 3", c.Failed)
+	}
+}
+
+func TestFailEveryIsDeterministic(t *testing.T) {
+	in := New(okHandler, Config{FailEvery: 3, FailStatus: http.StatusBadGateway})
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	var got []int
+	for i := 0; i < 9; i++ {
+		status, err := get(t, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, status)
+	}
+	for i, status := range got {
+		want := http.StatusOK
+		if (i+1)%3 == 0 {
+			want = http.StatusBadGateway
+		}
+		if status != want {
+			t.Fatalf("request %d: status %d, want %d (schedule %v)", i+1, status, want, got)
+		}
+	}
+}
+
+func TestFlapEveryAlternates(t *testing.T) {
+	in := New(okHandler, Config{FlapEvery: 2})
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	// Ordinals 1..8: runs of 2 — up (1), down (2,3), up (4,5), down (6,7), up (8).
+	want := []int{200, 503, 503, 200, 200, 503, 503, 200}
+	for i, w := range want {
+		status, err := get(t, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != w {
+			t.Fatalf("request %d: status %d, want %d", i+1, status, w)
+		}
+	}
+}
+
+func TestDropEveryAbortsConnection(t *testing.T) {
+	in := New(okHandler, Config{DropEvery: 2})
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	ok, dropped := 0, 0
+	for i := 0; i < 10; i++ {
+		status, err := get(t, ts)
+		if err != nil {
+			dropped++
+			continue
+		}
+		if status != http.StatusOK {
+			t.Fatalf("request %d: unexpected status %d", i+1, status)
+		}
+		ok++
+	}
+	if ok != 5 || dropped != 5 {
+		t.Fatalf("got %d ok / %d dropped, want 5/5", ok, dropped)
+	}
+	if c := in.Counts(); c.Dropped != 5 {
+		t.Fatalf("dropped counter %d, want 5", c.Dropped)
+	}
+}
+
+func TestSlowEveryDelays(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	in := New(okHandler, Config{SlowEvery: 2, SlowBy: delay})
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	var fast, slow time.Duration
+	for i := 0; i < 2; i++ {
+		t0 := time.Now()
+		if status, err := get(t, ts); err != nil || status != http.StatusOK {
+			t.Fatalf("request %d: status %d err %v", i+1, status, err)
+		}
+		d := time.Since(t0)
+		if (i+1)%2 == 0 {
+			slow = d
+		} else {
+			fast = d
+		}
+	}
+	if slow < delay {
+		t.Fatalf("scheduled-slow request took %v, want >= %v", slow, delay)
+	}
+	if fast >= delay {
+		t.Fatalf("unscheduled request took %v — the delay leaked", fast)
+	}
+	if c := in.Counts(); c.Slowed != 1 {
+		t.Fatalf("slowed counter %d, want 1", c.Slowed)
+	}
+}
+
+func TestFailRateIsSeeded(t *testing.T) {
+	run := func(seed int64) []int {
+		in := New(okHandler, Config{Seed: seed, FailRate: 0.5})
+		ts := httptest.NewServer(in)
+		defer ts.Close()
+		var statuses []int
+		for i := 0; i < 32; i++ {
+			status, err := get(t, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			statuses = append(statuses, status)
+		}
+		return statuses
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i+1, a, b)
+		}
+	}
+	failed := 0
+	for _, s := range a {
+		if s != http.StatusOK {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Fatalf("rate 0.5 over 32 requests failed %d — schedule degenerate", failed)
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -1,0 +1,148 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breakerState is a circuit breaker's position: closed (traffic flows),
+// open (the backend is presumed down; attempts are skipped until the
+// cooldown elapses), or half-open (one trial request is probing whether the
+// backend recovered).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breakerState(%d)", int(s))
+}
+
+// breaker is a per-backend circuit breaker fed by two signal sources: the
+// in-band outcome of every dispatch attempt, and the background prober's
+// periodic /healthz results. threshold consecutive tripping failures open
+// it; after cooldown the next allow() claims a single half-open trial whose
+// outcome either re-closes or re-opens the circuit.
+//
+// What counts as a tripping failure is the caller's decision (see
+// trips()): transport errors and most 5xx do; 429 (alive but shedding) and
+// 504 (the request's own deadline, not backend sickness) do not.
+//
+// A nil breaker, or one with threshold <= 0, is permanently closed — the
+// disabled mode Config.BreakerThreshold < 0 selects.
+type breaker struct {
+	threshold int           // consecutive tripping failures that open
+	cooldown  time.Duration // open -> half-open eligibility delay
+	now       func() time.Time
+
+	mu       sync.Mutex
+	st       breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	trial    bool      // a half-open trial is in flight
+	trialAt  time.Time // when it was claimed
+
+	opens  atomic.Int64 // closed/half-open -> open transitions
+	closes atomic.Int64 // half-open -> closed transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether an attempt against the backend may proceed. While
+// open it returns false until the cooldown elapses, then admits exactly one
+// caller as the half-open trial. A trial whose outcome never arrives (the
+// prober died mid-probe, a request was abandoned before report) releases
+// the slot after one cooldown period, so a lost trial cannot wedge the
+// breaker half-open forever.
+func (b *breaker) allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.st {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.st = breakerHalfOpen
+		b.trial = true
+		b.trialAt = now
+		return true
+	default: // half-open
+		if b.trial && now.Sub(b.trialAt) < b.cooldown {
+			return false
+		}
+		b.trial = true
+		b.trialAt = now
+		return true
+	}
+}
+
+// report feeds one attempt outcome. In the closed state failures accumulate
+// toward the threshold and any success resets the run; in half-open the
+// trial's outcome decides re-close vs re-open. Outcomes arriving while open
+// are stragglers from before the circuit tripped and teach nothing.
+func (b *breaker) report(ok bool) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case breakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.st = breakerOpen
+			b.openedAt = b.now()
+			b.opens.Add(1)
+		}
+	case breakerHalfOpen:
+		b.trial = false
+		if ok {
+			b.st = breakerClosed
+			b.fails = 0
+			b.closes.Add(1)
+		} else {
+			b.st = breakerOpen
+			b.openedAt = b.now()
+			b.opens.Add(1)
+		}
+	case breakerOpen:
+	}
+}
+
+// state snapshots the current position without advancing transitions.
+func (b *breaker) state() breakerState {
+	if b == nil || b.threshold <= 0 {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}

@@ -27,12 +27,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vliwq/internal/cache"
+	"vliwq/internal/metrics"
 	"vliwq/internal/service"
 )
 
@@ -61,16 +63,49 @@ type Config struct {
 	// split, mirroring the backend limit so the gateway answers 413 the
 	// same way a single vliwd would; 0 means 1024.
 	MaxBatch int
+
+	// BreakerThreshold is how many consecutive tripping failures (transport
+	// errors and 5xx other than 504) open a backend's circuit breaker; while
+	// open, the ring walk skips the backend until BreakerCooldown elapses
+	// and a half-open trial re-closes it. 0 means 5; negative disables the
+	// breakers entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting a
+	// half-open trial; 0 means 2 s.
+	BreakerCooldown time.Duration
+	// ProbeTimeout bounds the /healthz and /stats backend fan-outs and the
+	// background prober's probes when the incoming request carries no
+	// deadline of its own; 0 means 5 s.
+	ProbeTimeout time.Duration
+	// BackoffBase is the first inter-hop delay of the failover ring walk;
+	// each further hop doubles it with ±50% jitter, capped at BackoffMax.
+	// 0 means 10 ms; negative disables backoff (hops retry immediately).
+	BackoffBase time.Duration
+	// BackoffMax caps the jittered inter-hop delay; 0 means 250 ms.
+	BackoffMax time.Duration
+	// Hedge enables hedged /compile requests: when the owner has not
+	// answered within the observed p99 compile latency, a second attempt
+	// starts on the ring-adjacent backend and the first authoritative
+	// answer wins. Compilation is deterministic and /compile idempotent, so
+	// the duplicate work is safe; /batch is never hedged (sub-batches are
+	// already fanned out). Off by default — hedging trades duplicate
+	// backend work for tail latency.
+	Hedge bool
+	// HedgeMinDelay floors the hedge delay so a cold latency window (p99 of
+	// nothing = 0) cannot hedge every request instantly; 0 means 10 ms.
+	HedgeMinDelay time.Duration
 }
 
 // backend is one ring slot: the base URL plus the routing counters /stats
 // reports.
 type backend struct {
 	url       string
+	breaker   *breaker
 	owned     atomic.Int64 // requests this backend owns by hash
 	served    atomic.Int64 // requests it actually answered (batch entries count singly)
 	failovers atomic.Int64 // answers it gave for a neighbour's key
 	errors    atomic.Int64 // attempts that failed (transport or 5xx)
+	skipped   atomic.Int64 // attempts the open breaker short-circuited
 }
 
 // Gateway is the sharding proxy. Create one with New; it is safe for
@@ -86,6 +121,14 @@ type Gateway struct {
 	batchRequests   atomic.Int64
 	batchItems      atomic.Int64
 	requestErrors   atomic.Int64
+
+	deadlineExceeded atomic.Int64 // requests 504'd by their propagated deadline
+
+	// Hedging: observed /compile latencies feed the p99 the hedge delay
+	// derives from.
+	latWindow *metrics.Window
+	hedges    atomic.Int64 // hedged attempts launched
+	hedgeWins atomic.Int64 // hedges that answered before the primary
 }
 
 // New builds a Gateway over cfg.Backends.
@@ -93,12 +136,27 @@ func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, errors.New("gateway: no backends configured")
 	}
-	g := &Gateway{cfg: cfg, client: cfg.Client, start: time.Now()}
+	g := &Gateway{cfg: cfg, client: cfg.Client, start: time.Now(),
+		latWindow: metrics.NewWindow(512)}
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = 5
+	}
+	if threshold < 0 {
+		threshold = 0 // permanently-closed breakers
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
 	for _, u := range cfg.Backends {
 		if u == "" {
 			return nil, errors.New("gateway: empty backend URL")
 		}
-		g.backends = append(g.backends, &backend{url: u})
+		g.backends = append(g.backends, &backend{
+			url:     u,
+			breaker: newBreaker(threshold, cooldown, nil),
+		})
 	}
 	if g.client == nil {
 		timeout := cfg.Timeout
@@ -183,20 +241,80 @@ func mix64(h uint64) uint64 {
 
 // retryable reports whether an attempt outcome should move to the
 // ring-adjacent backend: transport errors and 5xx mean "this backend is
-// unhealthy", while 2xx–4xx (including 422 compile rejections) are
-// authoritative answers — compilation is deterministic, so a neighbour
-// would only repeat them.
+// unhealthy", and 429 means "this backend is shedding load" — in all three
+// cases a neighbour may do better. 2xx and the remaining 4xx (including 422
+// compile rejections) are authoritative answers — compilation is
+// deterministic, so a neighbour would only repeat them.
 func retryable(status int, err error) bool {
-	return err != nil || status >= 500
+	return err != nil || status >= 500 || status == http.StatusTooManyRequests
+}
+
+// trips reports whether an attempt outcome should count against the
+// backend's circuit breaker. Narrower than retryable: 429 is a backend
+// alive enough to shed politely, and 504 is the request's own propagated
+// deadline expiring — neither is evidence the backend is down, and opening
+// the breaker on them would amplify overload into outage.
+func trips(status int, err error) bool {
+	return err != nil || (status >= 500 && status != http.StatusGatewayTimeout)
+}
+
+// backoff returns the jittered exponential delay before retry attempt n
+// (n=1 is the first retry): base<<(n-1), jittered uniformly in [0.5d,
+// 1.5d), capped at max. Jitter keeps a fleet of gateways that lost the same
+// backend from re-converging on the survivors in lockstep.
+func (g *Gateway) backoff(n int) time.Duration {
+	base := g.cfg.BackoffBase
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = 10 * time.Millisecond
+	}
+	max := g.cfg.BackoffMax
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base << (n - 1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// sleep waits d or until ctx is done, reporting whether the wait completed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // forward POSTs body to one backend path and returns the raw response.
+// When ctx carries a deadline, the time actually left is propagated as the
+// DeadlineHeader budget — tightened at every hop, so a backend never works
+// past the moment the client stops listening.
 func (g *Gateway) forward(ctx context.Context, b *backend, path string, body []byte) (int, http.Header, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining > 0 {
+			req.Header.Set(service.DeadlineHeader, remaining.String())
+		}
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -216,17 +334,41 @@ func (g *Gateway) forward(ctx context.Context, b *backend, path string, body []b
 // owned/served/failover counters measure work, not call counts.
 func (g *Gateway) dispatch(ctx context.Context, owner int, path string, body []byte, weight int) (int, http.Header, []byte, error) {
 	g.backends[owner].owned.Add(int64(weight))
+	return g.ringWalk(ctx, owner, 0, path, body, weight)
+}
+
+// ringWalk tries the slots owner+startHop .. owner+retries in order,
+// skipping backends whose circuit breaker is open, with jittered
+// exponential backoff between attempts. Every attempt outcome feeds the
+// attempted backend's breaker (trips classification); retryable outcomes
+// move on, authoritative ones return. When every eligible slot was
+// breaker-skipped, the walk forces one attempt at the owner anyway — with
+// the whole ring presumed down, the forced attempt is the only signal
+// source left, and its outcome is what eventually re-closes a breaker.
+func (g *Gateway) ringWalk(ctx context.Context, owner, startHop int, path string, body []byte, weight int) (int, http.Header, []byte, error) {
 	var lastErr error
-	for hop := 0; hop <= g.retries(); hop++ {
+	attempts := 0
+	for hop := startHop; hop <= g.retries(); hop++ {
 		slot := (owner + hop) % len(g.backends)
 		b := g.backends[slot]
+		if !b.breaker.allow() {
+			b.skipped.Add(1)
+			lastErr = fmt.Errorf("backend %s: circuit breaker open", b.url)
+			continue
+		}
+		if attempts > 0 && !sleep(ctx, g.backoff(attempts)) {
+			return 0, nil, nil, ctx.Err()
+		}
+		attempts++
 		status, hdr, data, err := g.forward(ctx, b, path, body)
+		// A cancelled client is not a sick backend: stop without feeding
+		// the breaker, polluting the error counters or burning a doomed
+		// hop.
+		if ctx.Err() != nil {
+			return 0, nil, nil, ctx.Err()
+		}
+		b.breaker.report(!trips(status, err))
 		if retryable(status, err) {
-			// A cancelled client is not a sick backend: stop without
-			// polluting the error counters or burning a doomed hop.
-			if ctx.Err() != nil {
-				return 0, nil, nil, ctx.Err()
-			}
 			b.errors.Add(1)
 			if err == nil {
 				err = fmt.Errorf("backend %s: status %d", b.url, status)
@@ -240,7 +382,122 @@ func (g *Gateway) dispatch(ctx context.Context, owner int, path string, body []b
 		}
 		return status, hdr, data, nil
 	}
+	if attempts == 0 {
+		b := g.backends[owner]
+		status, hdr, data, err := g.forward(ctx, b, path, body)
+		if ctx.Err() != nil {
+			return 0, nil, nil, ctx.Err()
+		}
+		b.breaker.report(!trips(status, err))
+		if !retryable(status, err) {
+			b.served.Add(int64(weight))
+			return status, hdr, data, nil
+		}
+		b.errors.Add(1)
+		if err == nil {
+			err = fmt.Errorf("backend %s: status %d", b.url, status)
+		}
+		lastErr = err
+	}
 	return 0, nil, nil, fmt.Errorf("all %d backend attempts failed, last: %w", g.retries()+1, lastErr)
+}
+
+// dispatchHedged is dispatch for idempotent /compile under Config.Hedge:
+// the primary walk starts at the owner, and if it has not answered within
+// the hedge delay (observed p99 compile latency, floored), a second walk
+// starts one slot further along the ring. First authoritative answer wins;
+// if one walk fails, the other's answer is awaited.
+func (g *Gateway) dispatchHedged(ctx context.Context, owner int, body []byte, delay time.Duration) (int, http.Header, []byte, error) {
+	g.backends[owner].owned.Add(1)
+
+	type answer struct {
+		status int
+		hdr    http.Header
+		data   []byte
+		err    error
+		hedged bool
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan answer, 2)
+	walk := func(startHop int, hedged bool) {
+		status, hdr, data, err := g.ringWalk(ctx, owner, startHop, "/compile", body, 1)
+		ch <- answer{status, hdr, data, err, hedged}
+	}
+	go walk(0, false)
+
+	launched := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+	var firstErr error
+	for {
+		select {
+		case <-timerC:
+			g.hedges.Add(1)
+			launched++
+			go walk(1, true)
+			timerC = nil // a nil chan never fires: at most one hedge
+		case a := <-ch:
+			if a.err == nil {
+				if a.hedged {
+					g.hedgeWins.Add(1)
+				}
+				return a.status, a.hdr, a.data, nil
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			launched--
+			if launched == 0 {
+				return 0, nil, nil, firstErr
+			}
+		}
+	}
+}
+
+// hedgeDelay resolves the current hedge trigger: the p99 of observed
+// /compile latencies, floored at HedgeMinDelay. 0 means hedging is off.
+func (g *Gateway) hedgeDelay() time.Duration {
+	if !g.cfg.Hedge || len(g.backends) < 2 {
+		return 0
+	}
+	d := time.Duration(g.latWindow.Quantile(0.99))
+	min := g.cfg.HedgeMinDelay
+	if min <= 0 {
+		min = 10 * time.Millisecond
+	}
+	if d < min {
+		d = min
+	}
+	return d
+}
+
+// requestContext applies the client's propagated DeadlineHeader budget, if
+// any, as the request context's deadline; forward() re-propagates whatever
+// is left of it to each backend hop. A malformed header is answered 400.
+func (g *Gateway) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	d, ok, err := service.ParseDeadline(r.Header)
+	if err != nil {
+		g.fail(w, http.StatusBadRequest, err.Error())
+		return nil, nil, false
+	}
+	if !ok {
+		return r.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, true
+}
+
+// failDispatch maps a dispatch error onto its status: 504 when the
+// request's own deadline expired mid-flight, 502 for exhausted ring walks.
+func (g *Gateway) failDispatch(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		g.deadlineExceeded.Add(1)
+		g.fail(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	g.fail(w, http.StatusBadGateway, err.Error())
 }
 
 // handleCompile routes one request by its canonical key and relays the
@@ -253,6 +510,11 @@ func (g *Gateway) handleCompile(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	ctx, cancel, ok := g.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody()))
 	if err != nil {
 		g.failRead(w, err)
@@ -263,10 +525,22 @@ func (g *Gateway) handleCompile(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	status, hdr, data, err := g.dispatch(r.Context(), g.Route(&req), "/compile", body, 1)
+	owner := g.Route(&req)
+	t0 := time.Now()
+	var status int
+	var hdr http.Header
+	var data []byte
+	if d := g.hedgeDelay(); d > 0 {
+		status, hdr, data, err = g.dispatchHedged(ctx, owner, body, d)
+	} else {
+		status, hdr, data, err = g.dispatch(ctx, owner, "/compile", body, 1)
+	}
 	if err != nil {
-		g.fail(w, http.StatusBadGateway, err.Error())
+		g.failDispatch(w, err)
 		return
+	}
+	if status == http.StatusOK {
+		g.latWindow.Add(float64(time.Since(t0).Nanoseconds()))
 	}
 	relay(w, status, hdr, data)
 }
@@ -281,6 +555,11 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		g.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	ctx, cancel, ok := g.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody()))
 	if err != nil {
 		g.failRead(w, err)
@@ -319,7 +598,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 				g.fillErrors(results, idxs, err.Error())
 				return
 			}
-			status, _, data, err := g.dispatch(r.Context(), owner, "/batch", subBody, len(idxs))
+			status, _, data, err := g.dispatch(ctx, owner, "/batch", subBody, len(idxs))
 			if err != nil {
 				g.fillErrors(results, idxs, err.Error())
 				return
@@ -367,9 +646,34 @@ type HealthResponse struct {
 	Backends []BackendHealth `json:"backends"`
 }
 
+// probeTimeout resolves the fan-out/prober bound Config.ProbeTimeout.
+func (g *Gateway) probeTimeout() time.Duration {
+	if g.cfg.ProbeTimeout > 0 {
+		return g.cfg.ProbeTimeout
+	}
+	return 5 * time.Second
+}
+
+// fanoutContext bounds a backend fan-out (healthz probes, stats fetches):
+// when the caller's context already carries a deadline — its own, or one
+// propagated via DeadlineHeader — that deadline governs; otherwise the
+// configurable ProbeTimeout floor applies, so a fan-out never hangs on a
+// wedged backend just because the client imposed no budget.
+func (g *Gateway) fanoutContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, g.probeTimeout())
+}
+
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rctx, rcancel, ok := g.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer rcancel()
 	hr := HealthResponse{Backends: make([]BackendHealth, len(g.backends))}
-	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	ctx, cancel := g.fanoutContext(rctx)
 	defer cancel()
 	var wg sync.WaitGroup
 	for i, b := range g.backends {
@@ -421,6 +725,51 @@ func (g *Gateway) probe(ctx context.Context, b *backend) BackendHealth {
 	return h
 }
 
+// StartProber launches the background breaker prober and returns its stop
+// function. Every interval it probes the /healthz of each backend whose
+// breaker is NOT closed — closed breakers are already fed by in-band
+// traffic — and reports the outcome, so an open circuit re-closes as soon
+// as the backend recovers even on an idle gateway, instead of waiting for
+// a client request to volunteer as the half-open trial. Probes go through
+// breaker.allow(), so the prober respects the cooldown and the
+// single-trial discipline like any other caller.
+func (g *Gateway) StartProber(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			for _, b := range g.backends {
+				if b.breaker.state() == breakerClosed {
+					continue
+				}
+				if !b.breaker.allow() {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), g.probeTimeout())
+				h := g.probe(ctx, b)
+				cancel()
+				b.breaker.report(h.Healthy)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
 // BackendStats is one ring slot inside a /stats answer: the gateway's own
 // routing counters plus the backend's /stats body when reachable.
 type BackendStats struct {
@@ -430,6 +779,15 @@ type BackendStats struct {
 	Served    int64  `json:"served"`    // requests it answered
 	Failovers int64  `json:"failovers"` // requests answered for a neighbour
 	Errors    int64  `json:"errors"`    // failed attempts against it
+	Skipped   int64  `json:"skipped"`   // attempts the open breaker short-circuited
+
+	// Breaker is the circuit breaker's current state ("closed", "open",
+	// "half-open") with its lifetime transition counters — the signal the
+	// chaos e2e asserts on: an outage must show opens >= 1 and a final
+	// state of "closed" after recovery.
+	Breaker       string `json:"breaker"`
+	BreakerOpens  int64  `json:"breaker_opens"`
+	BreakerCloses int64  `json:"breaker_closes"`
 
 	Cache cache.Stats        `json:"cache"` // from the backend, zero when unreachable
 	Sched service.SchedStats `json:"sched"`
@@ -438,19 +796,30 @@ type BackendStats struct {
 // StatsResponse is the JSON body of GET /stats: per-backend detail plus
 // fleet totals (cache counters summed across backends).
 type StatsResponse struct {
-	UptimeSeconds   float64            `json:"uptime_seconds"`
-	BackendCount    int                `json:"backend_count"`
-	CompileRequests int64              `json:"compile_requests"`
-	BatchRequests   int64              `json:"batch_requests"`
-	BatchItems      int64              `json:"batch_items"`
-	RequestErrors   int64              `json:"request_errors"`
-	Backends        []BackendStats     `json:"backends"`
-	TotalCache      cache.Stats        `json:"total_cache"`
-	TotalSched      service.SchedStats `json:"total_sched"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	BackendCount    int     `json:"backend_count"`
+	CompileRequests int64   `json:"compile_requests"`
+	BatchRequests   int64   `json:"batch_requests"`
+	BatchItems      int64   `json:"batch_items"`
+	RequestErrors   int64   `json:"request_errors"`
+	// DeadlineExceeded counts requests 504'd by their propagated deadline.
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// Hedges counts hedged /compile attempts launched; HedgeWins how many
+	// answered before their primary.
+	Hedges     int64              `json:"hedges"`
+	HedgeWins  int64              `json:"hedge_wins"`
+	Backends   []BackendStats     `json:"backends"`
+	TotalCache cache.Stats        `json:"total_cache"`
+	TotalSched service.SchedStats `json:"total_sched"`
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
-	service.WriteJSON(w, http.StatusOK, g.Stats(r.Context()))
+	ctx, cancel, ok := g.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	service.WriteJSON(w, http.StatusOK, g.Stats(ctx))
 }
 
 // Stats aggregates the fleet: each backend's /stats is fetched concurrently
@@ -458,15 +827,18 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 // counters with Healthy=false and zero cache numbers.
 func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 	st := StatsResponse{
-		UptimeSeconds:   time.Since(g.start).Seconds(),
-		BackendCount:    len(g.backends),
-		CompileRequests: g.compileRequests.Load(),
-		BatchRequests:   g.batchRequests.Load(),
-		BatchItems:      g.batchItems.Load(),
-		RequestErrors:   g.requestErrors.Load(),
-		Backends:        make([]BackendStats, len(g.backends)),
+		UptimeSeconds:    time.Since(g.start).Seconds(),
+		BackendCount:     len(g.backends),
+		CompileRequests:  g.compileRequests.Load(),
+		BatchRequests:    g.batchRequests.Load(),
+		BatchItems:       g.batchItems.Load(),
+		RequestErrors:    g.requestErrors.Load(),
+		DeadlineExceeded: g.deadlineExceeded.Load(),
+		Hedges:           g.hedges.Load(),
+		HedgeWins:        g.hedgeWins.Load(),
+		Backends:         make([]BackendStats, len(g.backends)),
 	}
-	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	ctx, cancel := g.fanoutContext(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
 	for i, b := range g.backends {
@@ -474,11 +846,15 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 		go func(i int, b *backend) {
 			defer wg.Done()
 			bs := BackendStats{
-				URL:       b.url,
-				Owned:     b.owned.Load(),
-				Served:    b.served.Load(),
-				Failovers: b.failovers.Load(),
-				Errors:    b.errors.Load(),
+				URL:           b.url,
+				Owned:         b.owned.Load(),
+				Served:        b.served.Load(),
+				Failovers:     b.failovers.Load(),
+				Errors:        b.errors.Load(),
+				Skipped:       b.skipped.Load(),
+				Breaker:       b.breaker.state().String(),
+				BreakerOpens:  b.breaker.opens.Load(),
+				BreakerCloses: b.breaker.closes.Load(),
 			}
 			if remote, err := g.fetchBackendStats(ctx, b); err == nil {
 				bs.Healthy = true

@@ -245,8 +245,19 @@ func TestGatewayFailover(t *testing.T) {
 	if st.Backends[1].Failovers != int64(deadOwned) {
 		t.Fatalf("neighbour served %d failovers, want %d", st.Backends[1].Failovers, deadOwned)
 	}
-	if st.Backends[0].Errors < int64(deadOwned) {
-		t.Fatalf("dead slot recorded %d errors, want >= %d", st.Backends[0].Errors, deadOwned)
+	// Every dead-owned request either burned a real attempt (errors) or was
+	// short-circuited by the open breaker (skipped); after enough failures
+	// the breaker must have opened and stopped hammering the corpse.
+	if total := st.Backends[0].Errors + st.Backends[0].Skipped; total < int64(deadOwned) {
+		t.Fatalf("dead slot recorded %d errors + %d skips, want >= %d",
+			st.Backends[0].Errors, st.Backends[0].Skipped, deadOwned)
+	}
+	if st.Backends[0].Breaker != "open" || st.Backends[0].BreakerOpens < 1 {
+		t.Fatalf("dead slot breaker %q (opens=%d), want open after sustained failures",
+			st.Backends[0].Breaker, st.Backends[0].BreakerOpens)
+	}
+	if st.Backends[0].Skipped == 0 {
+		t.Fatal("open breaker never skipped an attempt — the dead backend was hammered throughout")
 	}
 	if st.Backends[0].Healthy || !st.Backends[1].Healthy {
 		t.Fatalf("health flags wrong: %+v", st.Backends)

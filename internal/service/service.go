@@ -29,9 +29,41 @@ import (
 
 	"vliwq"
 	"vliwq/internal/cache"
+	"vliwq/internal/metrics"
 	"vliwq/internal/pool"
 	"vliwq/internal/sched"
 )
+
+// DeadlineHeader carries a request's remaining time budget end to end: a Go
+// duration string ("750ms", "2s") set by the client, tightened by the
+// gateway at every hop to the time actually left, and applied here as the
+// request context's deadline — so a client deadline cancels backend work at
+// the next pipeline stage boundary instead of letting an abandoned compile
+// run to completion. An absent header means the caller accepts the server's
+// own bounds.
+const DeadlineHeader = "X-Vliw-Deadline"
+
+// minDeadline floors the budget DeadlineHeader may impose: a microsecond
+// budget would cancel every request before the handler even decodes it,
+// turning a misconfigured client into a self-inflicted outage.
+const minDeadline = time.Millisecond
+
+// ParseDeadline extracts the DeadlineHeader budget: the duration, whether
+// the header was present, and a parse error a handler should answer 400.
+func ParseDeadline(h http.Header) (time.Duration, bool, error) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return 0, false, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad %s header %q: %w", DeadlineHeader, v, err)
+	}
+	if d <= 0 {
+		return 0, false, fmt.Errorf("bad %s header %q: budget must be positive", DeadlineHeader, v)
+	}
+	return d, true, nil
+}
 
 // Config tunes a Server. The zero value serves correctly — unbounded
 // cache, GOMAXPROCS batch workers, 4 MiB body cap — but a long-running
@@ -49,6 +81,20 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps the request body; 0 means 4 MiB.
 	MaxBodyBytes int64
+	// MaxInflight bounds concurrently admitted /compile and /batch calls;
+	// calls beyond the bound are shed immediately with 429 and a
+	// Retry-After header instead of queueing behind a saturated worker
+	// pool. 0 disables the gate. A /batch call holds one slot regardless
+	// of its size — per-batch compile parallelism is already bounded by
+	// Workers, so the gate controls call concurrency, not compile
+	// concurrency.
+	MaxInflight int
+	// SLOTarget is the compile-latency budget driving the degradation
+	// ladder: when the EWMA of recent compile latencies exceeds it, the
+	// server downgrades requested effort one step at a time
+	// (exhaustive → balanced → fast), and recovers a step once the EWMA
+	// falls below half the target. 0 disables degradation.
+	SLOTarget time.Duration
 }
 
 // CompileRequest is the JSON body of POST /compile and each element of a
@@ -78,6 +124,16 @@ type CompileResponse struct {
 	Strategy   string  `json:"strategy"`
 	Report     string  `json:"report"`
 	Kernel     string  `json:"kernel"`
+
+	// Degraded marks a response compiled at less effort than the request
+	// asked for because the SLO ladder was active; Effort reports the
+	// effort actually spent and RequestedEffort what the client asked for.
+	// Degraded results are cached under the canonical key of the effort
+	// that ran, never under the requested effort's key — a degraded fast
+	// schedule must not masquerade as an exhaustive one once pressure
+	// subsides.
+	Degraded        bool   `json:"degraded,omitempty"`
+	RequestedEffort string `json:"requested_effort,omitempty"`
 }
 
 // BatchRequest is the JSON body of POST /batch.
@@ -126,25 +182,52 @@ type SchedStats struct {
 	Machines map[string]int64 `json:"machines,omitempty"`
 }
 
+// AdmissionStats reports the inflight gate: how many calls are currently
+// admitted, the bound, and how many were shed with 429.
+type AdmissionStats struct {
+	MaxInflight int   `json:"max_inflight"` // 0 = gate disabled
+	Inflight    int   `json:"inflight"`     // calls currently admitted
+	Shed        int64 `json:"shed"`         // calls answered 429
+}
+
+// SLOStats reports the degradation ladder: the latency budget, the current
+// compile-latency EWMA, the active degradation level (0 = full effort,
+// 2 = everything runs fast), and how many requests were answered degraded.
+type SLOStats struct {
+	TargetMillis float64 `json:"target_ms"` // 0 = ladder disabled
+	EWMAMillis   float64 `json:"ewma_ms"`
+	Level        int     `json:"level"`
+	Degraded     int64   `json:"degraded"`
+}
+
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
-	UptimeSeconds   float64     `json:"uptime_seconds"`
-	GoMaxProcs      int         `json:"gomaxprocs"`
-	CompileRequests int64       `json:"compile_requests"`
-	BatchRequests   int64       `json:"batch_requests"`
-	BatchItems      int64       `json:"batch_items"`
-	RequestErrors   int64       `json:"request_errors"`
-	CacheEnabled    bool        `json:"cache_enabled"`
-	Cache           cache.Stats `json:"cache"`
-	Sched           SchedStats  `json:"sched"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	CompileRequests int64   `json:"compile_requests"`
+	BatchRequests   int64   `json:"batch_requests"`
+	BatchItems      int64   `json:"batch_items"`
+	RequestErrors   int64   `json:"request_errors"`
+	// DeadlineExceeded counts requests whose propagated deadline cancelled
+	// the compile (answered 504).
+	DeadlineExceeded int64          `json:"deadline_exceeded"`
+	Admission        AdmissionStats `json:"admission"`
+	SLO              SLOStats       `json:"slo"`
+	CacheEnabled     bool           `json:"cache_enabled"`
+	Cache            cache.Stats    `json:"cache"`
+	Sched            SchedStats     `json:"sched"`
 }
 
 // outcome is the cached unit: one request's response or its error rendered
 // as a string (compilation is deterministic, so errors cache as well as
-// successes).
+// successes). ctxErr marks context cancellation — the one error class that
+// is NOT deterministic (it belongs to the requester's deadline, not the
+// request), so compileOne forgets such entries instead of serving them to
+// future callers.
 type outcome struct {
-	resp *CompileResponse
-	err  string
+	resp   *CompileResponse
+	err    string
+	ctxErr bool
 }
 
 // Server is the vliwd HTTP service. Create one with New; it is safe for
@@ -160,6 +243,19 @@ type Server struct {
 	batchRequests   atomic.Int64
 	batchItems      atomic.Int64
 	requestErrors   atomic.Int64
+
+	// Admission gate: a slot per admitted call when MaxInflight > 0.
+	inflight chan struct{}
+	shed     atomic.Int64
+
+	// Degradation ladder: latEWMA tracks compile latency, level is how many
+	// effort steps the server currently shaves off requests (0..2).
+	latEWMA  *metrics.EWMA
+	level    atomic.Int32
+	degraded atomic.Int64
+
+	// timeouts counts compiles cancelled by a propagated deadline (504s).
+	timeouts atomic.Int64
 
 	compiles      atomic.Int64
 	compileErrors atomic.Int64
@@ -182,7 +278,11 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		compiler: vliwq.NewCompiler(vliwq.CompilerConfig{CacheEntries: -1}),
 		machines: make(map[string]int64),
+		latEWMA:  metrics.NewEWMA(0.2),
 		start:    time.Now(),
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
 	if cfg.CacheEntries >= 0 {
 		s.cache = cache.New[string, outcome](
@@ -231,11 +331,17 @@ func (s *Server) maxBody() int64 {
 // cached path replays the outcome without recounting.
 func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
 	s.compiles.Add(1)
+	t0 := time.Now()
 	res, err := s.compiler.Run(ctx, req)
 	if err != nil {
 		s.compileErrors.Add(1)
-		return outcome{err: err.Error()}
+		return outcome{
+			err: err.Error(),
+			ctxErr: errors.Is(err, context.Canceled) ||
+				errors.Is(err, context.DeadlineExceeded),
+		}
 	}
+	s.observeLatency(time.Since(t0))
 	s.opsScheduled.Add(int64(len(res.Sched.Loop.Ops)))
 	s.iiSum.Add(int64(res.II))
 	s.strategyWins[res.Sched.Strategy].Add(1)
@@ -263,34 +369,124 @@ func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
 	}}
 }
 
+// maxDegradeLevel is the ladder's floor: two steps take exhaustive all the
+// way to fast, and no request can degrade below fast.
+const maxDegradeLevel = int32(2)
+
+// observeLatency feeds one successful compile's wall clock into the EWMA
+// and moves the degradation ladder: over the target, degrade one step;
+// under half the target, recover one step. The half-target recovery bound
+// is deliberate hysteresis — recovering the moment the EWMA dips under the
+// target would re-admit the expensive efforts that pushed it over, and the
+// ladder would oscillate every few requests.
+func (s *Server) observeLatency(d time.Duration) {
+	if s.cfg.SLOTarget <= 0 {
+		s.latEWMA.Observe(float64(d.Nanoseconds()))
+		return
+	}
+	avg := time.Duration(s.latEWMA.Observe(float64(d.Nanoseconds())))
+	for {
+		lvl := s.level.Load()
+		switch {
+		case avg > s.cfg.SLOTarget && lvl < maxDegradeLevel:
+			if s.level.CompareAndSwap(lvl, lvl+1) {
+				return
+			}
+		case avg <= s.cfg.SLOTarget/2 && lvl > 0:
+			if s.level.CompareAndSwap(lvl, lvl-1) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// degrade lowers a normalized request's effort by the current ladder level,
+// reporting what the client originally asked for and whether anything
+// changed. It runs BEFORE Canonical() is taken, so a degraded compile
+// caches under the key of the effort that actually ran — never under the
+// requested effort's key (see CompileResponse.Degraded).
+func (s *Server) degrade(r *CompileRequest) (requested string, did bool) {
+	lvl := s.level.Load()
+	if lvl == 0 {
+		return "", false
+	}
+	eff, err := vliwq.ParseEffort(r.Effort)
+	if err != nil {
+		return "", false // Normalize already vetted it; be safe anyway
+	}
+	ne := int(eff) - int(lvl)
+	if ne < 0 {
+		ne = 0
+	}
+	if vliwq.Effort(ne) == eff {
+		return "", false
+	}
+	requested = r.Effort
+	r.Effort = vliwq.Effort(ne).String()
+	s.degraded.Add(1)
+	return requested, true
+}
+
 // clientError marks a request-shape problem (HTTP 400) as opposed to a
 // loop the pipeline rejects (HTTP 422).
 type clientError struct{ error }
+
+// timeoutError marks a compile cancelled by the request's deadline
+// (HTTP 504) as opposed to a loop the pipeline rejects (HTTP 422).
+type timeoutError struct{ error }
 
 // compileOne serves one request through the cache, keyed by the request's
 // canonical encoding — the same key the gateway's hash ring routes on,
 // which is what keeps the fleet cache-affine. The request is normalized
 // first, so every spelling of the same behaviour ("" vs "single:6") lands
-// on one entry; Normalize errors are client errors (HTTP 400). Cached
-// computes run under context.Background(): the result outlives the
-// requesting client, and a cancelled first requester must not poison the
-// shared entry with a context error. Uncached computes honour the
-// caller's context.
+// on one entry; Normalize errors are client errors (HTTP 400).
+//
+// Degradation happens between Normalize and Canonical: when the SLO ladder
+// is active, the request's effort is lowered in place first, so the compile
+// caches under the key of the effort that actually ran. The cached outcome
+// itself is NOT marked degraded — a degraded-to-fast result IS a fast
+// result, and a client genuinely asking for fast must not see degraded:true
+// on a shared entry — the annotation goes on a per-request copy.
+//
+// Computes run under the caller's context so a propagated deadline cancels
+// backend work at the next stage boundary. That makes context errors
+// cacheable by accident; compileOne forgets such entries immediately
+// (cache.Forget), so the next request for the key recompiles. Concurrent
+// waiters on the same in-flight entry share the first caller's fate — a
+// deliberate trade: shared-compute semantics cannot distinguish which
+// waiter's deadline fired.
 func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
 	r := *req
 	if err := r.Normalize(); err != nil {
 		return nil, clientError{err}
 	}
+	requested, didDegrade := s.degrade(&r)
 	var oc outcome
 	if s.cache != nil {
-		oc = s.cache.Do(r.Canonical(), func() outcome {
-			return s.compute(context.Background(), r)
+		key := r.Canonical()
+		oc = s.cache.Do(key, func() outcome {
+			return s.compute(ctx, r)
 		})
+		if oc.ctxErr {
+			s.cache.Forget(key)
+		}
 	} else {
 		oc = s.compute(ctx, r)
 	}
+	if oc.ctxErr {
+		s.timeouts.Add(1)
+		return nil, timeoutError{errors.New(oc.err)}
+	}
 	if oc.err != "" {
 		return nil, errors.New(oc.err)
+	}
+	if didDegrade {
+		resp := *oc.resp
+		resp.Degraded = true
+		resp.RequestedEffort = requested
+		return &resp, nil
 	}
 	return oc.resp, nil
 }
@@ -315,25 +511,85 @@ func (s *Server) compileBatch(ctx context.Context, reqs []CompileRequest) []Batc
 	return out
 }
 
+// admit takes an inflight slot, shedding with 429 + Retry-After when the
+// gate is full. Shed calls are NOT request errors (s.fail) — the request
+// was well-formed, the server was busy — so they count under admission.shed
+// only. Returns a release func (nil when the call was shed).
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.inflight == nil {
+		return func() {}, true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		WriteJSON(w, http.StatusTooManyRequests,
+			map[string]string{"error": "server at max inflight; retry shortly"})
+		return nil, false
+	}
+}
+
+// requestContext applies the propagated DeadlineHeader budget, if any, to
+// the request context. A malformed header is answered 400 before any work
+// runs; the budget is floored at minDeadline so a broken client cannot
+// configure itself into a 100% self-cancel rate.
+func (s *Server) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	d, ok, err := ParseDeadline(r.Header)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return nil, nil, false
+	}
+	if !ok {
+		return r.Context(), func() {}, true
+	}
+	if d < minDeadline {
+		d = minDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, true
+}
+
+// compileStatus maps a compileOne error onto its HTTP status: 400 for
+// request-shape problems, 504 for deadline-cancelled compiles, 422 for
+// loops the pipeline rejects.
+func compileStatus(err error) int {
+	var ce clientError
+	if errors.As(err, &ce) {
+		return http.StatusBadRequest
+	}
+	var te timeoutError
+	if errors.As(err, &te) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.compileRequests.Add(1)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	var req CompileRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.failDecode(w, err)
 		return
 	}
-	resp, err := s.compileOne(r.Context(), &req)
+	resp, err := s.compileOne(ctx, &req)
 	if err != nil {
-		code := http.StatusUnprocessableEntity
-		var ce clientError
-		if errors.As(err, &ce) {
-			code = http.StatusBadRequest
-		}
-		s.fail(w, code, err.Error())
+		s.fail(w, compileStatus(err), err.Error())
 		return
 	}
 	WriteJSON(w, http.StatusOK, resp)
@@ -345,6 +601,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	var req BatchRequest
 	if err := s.decode(w, r, &req); err != nil {
 		s.failDecode(w, err)
@@ -356,11 +622,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.batchItems.Add(int64(len(req.Requests)))
-	WriteJSON(w, http.StatusOK, BatchResponse{Results: s.compileBatch(r.Context(), req.Requests)})
+	WriteJSON(w, http.StatusOK, BatchResponse{Results: s.compileBatch(ctx, req.Requests)})
 }
 
+// handleHealthz keeps its historical map[string]string body shape (probes
+// and tests decode exactly that), gaining a "degraded" status plus a reason
+// while the SLO ladder is active: a degraded backend is alive — the gateway
+// must keep routing to it — but operators should see the pressure.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]string{"status": "ok"}
+	if lvl := s.level.Load(); lvl > 0 {
+		body["status"] = "degraded"
+		body["reason"] = fmt.Sprintf(
+			"slo ladder at level %d: compile latency ewma %.1fms over %v target",
+			lvl, s.latEWMA.Value()/1e6, s.cfg.SLOTarget)
+	}
+	WriteJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -370,13 +647,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Stats snapshots every counter the server maintains.
 func (s *Server) Stats() StatsResponse {
 	st := StatsResponse{
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		CompileRequests: s.compileRequests.Load(),
-		BatchRequests:   s.batchRequests.Load(),
-		BatchItems:      s.batchItems.Load(),
-		RequestErrors:   s.requestErrors.Load(),
-		CacheEnabled:    s.cache != nil,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		CompileRequests:  s.compileRequests.Load(),
+		BatchRequests:    s.batchRequests.Load(),
+		BatchItems:       s.batchItems.Load(),
+		RequestErrors:    s.requestErrors.Load(),
+		DeadlineExceeded: s.timeouts.Load(),
+		Admission: AdmissionStats{
+			MaxInflight: s.cfg.MaxInflight,
+			Inflight:    len(s.inflight),
+			Shed:        s.shed.Load(),
+		},
+		SLO: SLOStats{
+			TargetMillis: float64(s.cfg.SLOTarget.Nanoseconds()) / 1e6,
+			EWMAMillis:   s.latEWMA.Value() / 1e6,
+			Level:        int(s.level.Load()),
+			Degraded:     s.degraded.Load(),
+		},
+		CacheEnabled: s.cache != nil,
 		Sched: SchedStats{
 			Compiles:     s.compiles.Load(),
 			Errors:       s.compileErrors.Load(),

@@ -218,7 +218,9 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error)
 // stamping each executed stage's wall-clock cost into Result.Stages and
 // its artifact into the Result, and stops after `until` (StageVerify = the
 // full pipeline; SkipVerify ends a full run at StageAlloc). The context is
-// checked on entry and before the two expensive stages (schedule, verify).
+// checked on entry and at every stage boundary from scheduling on
+// (schedule, alloc, verify) — the boundaries where a propagated request
+// deadline cancels abandoned work.
 func compileStaged(ctx context.Context, l *Loop, opts Options, until Stage) (*Result, error) {
 	if l == nil {
 		return nil, fmt.Errorf("vliwq: nil loop")
@@ -293,6 +295,9 @@ func compileStaged(ctx context.Context, l *Loop, opts Options, until Stage) (*Re
 		return res, nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	alloc := queue.Allocate(s)
 	if err := alloc.Verify(); err != nil {
