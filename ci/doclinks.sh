@@ -1,0 +1,84 @@
+#!/bin/sh
+# ci/doclinks.sh — fail on broken intra-repo references in the top-level
+# docs (README.md, DESIGN.md, CONTRIBUTING.md). Three reference shapes are
+# checked:
+#
+#   1. Markdown links whose target is a relative path: the file must exist
+#      (an optional #anchor suffix is stripped, external http(s)/mailto
+#      targets are skipped).
+#   2. Textual section references of the form "DESIGN.md §N": DESIGN.md
+#      must contain a "## §N " heading — a renumbered or deleted section
+#      breaks every doc that cites it.
+#   3. Backticked repo paths (`cmd/...`, `internal/...`, `ci/...`,
+#      `bench/...`, `examples/...`, or a root-level *.md): the path must
+#      exist. Paths with globs or placeholders are skipped.
+#
+# Run from the repo root: sh ci/doclinks.sh
+set -u
+
+fail=0
+docs="README.md DESIGN.md CONTRIBUTING.md"
+
+err() {
+  echo "doclinks: $1" >&2
+  fail=1
+}
+
+for doc in $docs; do
+  [ -f "$doc" ] || { err "$doc is missing"; continue; }
+
+  # 1. Markdown link targets.
+  grep -on '](\([^)]*\))' "$doc" | sed 's/:](/ /; s/)$//' |
+  while read -r line target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -e "$path" ] || echo "$doc:$line: broken link target '$target'"
+  done | {
+    found=0
+    while read -r msg; do err "$msg"; found=1; done
+    [ "$found" = 0 ]
+  } || fail=1
+
+  # 2. "DESIGN.md §N" section references.
+  grep -on 'DESIGN\.md §[0-9][0-9]*' "$doc" | sort -u |
+  while read -r ref; do
+    line="${ref%%:*}"
+    sec="${ref##*§}"
+    grep -q "^## §$sec " DESIGN.md || echo "$doc:$line: reference to DESIGN.md §$sec, but DESIGN.md has no '## §$sec ' heading"
+  done | {
+    found=0
+    while read -r msg; do err "$msg"; found=1; done
+    [ "$found" = 0 ]
+  } || fail=1
+
+  # 3. Backticked repo paths.
+  grep -on '`[^`]*`' "$doc" | sed 's/:`/ /; s/`$//' |
+  while read -r line path; do
+    case "$path" in
+      *'*'*|*'<'*|*' '*|*'$'*) continue ;;
+      # CI artifacts the docs describe but the repo never commits.
+      bench/new.txt|bench/compare.txt) continue ;;
+      cmd/*|internal/*|ci/*|bench/*|examples/*) ;;
+      *.md) case "$path" in */*) continue ;; esac ;;
+      *) continue ;;
+    esac
+    [ -e "$path" ] && continue
+    # A Go symbol spelled with its package path (`internal/ir.OpKind`):
+    # strip the symbol and require the package directory instead.
+    pkg=$(printf '%s' "$path" | sed 's#\.[A-Za-z_][A-Za-z0-9_.]*$##')
+    [ "$pkg" != "$path" ] && [ -d "$pkg" ] && continue
+    echo "$doc:$line: backticked path '$path' does not exist"
+  done | {
+    found=0
+    while read -r msg; do err "$msg"; found=1; done
+    [ "$found" = 0 ]
+  } || fail=1
+done
+
+if [ "$fail" != 0 ]; then
+  echo "doclinks: FAILED" >&2
+  exit 1
+fi
+echo "doclinks: all intra-repo references resolve"

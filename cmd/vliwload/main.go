@@ -224,9 +224,11 @@ func shedDelay(resp *http.Response) (wait time.Duration, isShed bool) {
 	return wait, true
 }
 
-// reportStats fetches /stats and prints the server's own counters. A
-// gateway answer (recognized by its backend list) additionally prints the
-// per-backend request distribution and each backend's cache counters.
+// reportStats fetches /stats and prints the server's own counters,
+// including the structural (isomorphism-class) cache line when that layer
+// is on. A gateway answer (recognized by its backend list) additionally
+// prints the fleet-wide coalescing counter, the per-backend request
+// distribution, and each backend's cache counters.
 func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
 	data, err := fetchStats(client, base)
 	if err != nil {
@@ -238,6 +240,11 @@ func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
 		fmt.Fprintf(stdout, "gateway: %d backends, %d compiles, cache hits=%d misses=%d entries=%d\n",
 			gst.BackendCount, gst.TotalSched.Compiles,
 			gst.TotalCache.Hits, gst.TotalCache.Misses, gst.TotalCache.Entries)
+		if gst.TotalStructural.Enabled {
+			fmt.Fprintf(stdout, "structural: hits=%d coalesced=%d renumbered=%d entries=%d, gateway coalesced=%d\n",
+				gst.TotalStructural.Hits, gst.TotalStructural.Coalesced,
+				gst.TotalStructural.Renumbered, gst.TotalStructural.Entries, gst.Coalesced)
+		}
 		var total int64
 		for _, b := range gst.Backends {
 			total += b.Served
@@ -264,6 +271,11 @@ func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
 	}
 	fmt.Fprintf(stdout, "server: %d compiles, cache hits=%d misses=%d entries=%d\n",
 		st.Sched.Compiles, st.Cache.Hits, st.Cache.Misses, st.Cache.Entries)
+	if st.Structural.Enabled {
+		fmt.Fprintf(stdout, "structural: hits=%d coalesced=%d renumbered=%d entries=%d\n",
+			st.Structural.Hits, st.Structural.Coalesced,
+			st.Structural.Renumbered, st.Structural.Entries)
+	}
 	printMachines(stdout, st.Sched.Machines)
 }
 

@@ -42,6 +42,7 @@ func TestRunAgainstGateway(t *testing.T) {
 		"gateway: 2 backends",
 		"backend " + b1.URL,
 		"backend " + b2.URL,
+		"structural: hits=",
 		"%)", // the distribution shares
 	} {
 		if !strings.Contains(out, frag) {
@@ -65,7 +66,7 @@ func TestRunAgainstService(t *testing.T) {
 		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
 	}
 	out := stdout.String()
-	for _, frag := range []string{"vliwload:", "throughput:", "latency: p50=", "cache hits="} {
+	for _, frag := range []string{"vliwload:", "throughput:", "latency: p50=", "cache hits=", "structural: hits="} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("report missing %q:\n%s", frag, out)
 		}

@@ -44,6 +44,12 @@ type Stats struct {
 	Misses    int64 `json:"misses"`    // Do created the entry (and ran compute)
 	Evictions int64 `json:"evictions"` // entries dropped by the size bound
 	Entries   int64 `json:"entries"`   // current entry count
+	// Coalesced counts the subset of Hits that joined an entry whose
+	// compute was still in flight: concurrent demand for one key that a
+	// singleflight collapsed into a single compute. (A coalesced call is
+	// still a hit — the counter refines Hits rather than splitting it, so
+	// hits+misses keeps equaling the call count.)
+	Coalesced int64 `json:"coalesced"`
 }
 
 // Cache memoizes values of type V under comparable keys of type K. The
@@ -58,6 +64,7 @@ type Cache[K comparable, V any] struct {
 	misses    atomic.Int64
 	evictions atomic.Int64
 	entries   atomic.Int64
+	coalesced atomic.Int64
 }
 
 type shard[K comparable, V any] struct {
@@ -120,9 +127,32 @@ func New[K comparable, V any](opts Options, hash func(K) uint64) *Cache[K, V] {
 // the first runs it, the rest block until it finishes. compute must not
 // call back into the same cache key (the sync.Once would self-deadlock).
 func (c *Cache[K, V]) Do(k K, compute func() V) V {
+	v, _ := c.DoWithInfo(k, compute)
+	return v
+}
+
+// Info reports how a DoWithInfo call was served.
+type Info struct {
+	// Created is true when this call created the entry and ran compute —
+	// the cache-miss case.
+	Created bool
+	// Joined is true when this call found the entry with its compute still
+	// in flight and blocked on it: the singleflight-coalescing case.
+	// Created and Joined are mutually exclusive; a plain hit on a completed
+	// entry reports neither.
+	Joined bool
+}
+
+// DoWithInfo is Do plus provenance: it additionally reports whether this
+// call created the entry (a miss that ran compute) or joined an in-flight
+// compute started by a concurrent caller (a coalesced hit). The serving
+// layers use the distinction to count fleet-wide coalescing without
+// changing what Do callers observe.
+func (c *Cache[K, V]) DoWithInfo(k K, compute func() V) (V, Info) {
 	sh := &c.shards[c.hash(k)&c.mask]
 	sh.mu.Lock()
 	e := sh.m[k]
+	var info Info
 	if e == nil {
 		e = &entry[V]{}
 		if sh.max > 0 && len(sh.m) >= sh.max {
@@ -131,15 +161,25 @@ func (c *Cache[K, V]) Do(k K, compute func() V) V {
 		sh.m[k] = e
 		c.entries.Add(1)
 		c.misses.Add(1)
+		info.Created = true
 	} else {
 		c.hits.Add(1)
+		if !e.done.Load() {
+			// The entry exists but its compute had not finished when this
+			// call arrived: it shares the in-flight compute (blocking on the
+			// sync.Once below). The compute may complete between this check
+			// and the once.Do — the call still counts as coalesced, since it
+			// arrived while the work was in flight.
+			info.Joined = true
+			c.coalesced.Add(1)
+		}
 	}
 	sh.mu.Unlock()
 	e.once.Do(func() {
 		e.val = compute()
 		e.done.Store(true)
 	})
-	return e.val
+	return e.val, info
 }
 
 // Get reports the memoized value for k, if a completed one exists. It never
@@ -204,6 +244,7 @@ func (c *Cache[K, V]) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   c.entries.Load(),
+		Coalesced: c.coalesced.Load(),
 	}
 }
 

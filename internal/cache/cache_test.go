@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDoMemoizes(t *testing.T) {
@@ -220,5 +221,79 @@ func TestForgetSkipsInFlight(t *testing.T) {
 	}
 	if !c.Forget("k") {
 		t.Fatal("Forget failed after the compute completed")
+	}
+}
+
+// TestDoWithInfoClassification pins the three outcomes: Created on first
+// use, Joined while the compute is in flight, neither on a completed-entry
+// hit — and the Coalesced counter tracking exactly the Joined calls.
+func TestDoWithInfoClassification(t *testing.T) {
+	c := New[string, int](Options{Shards: 1}, StringHash)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	joined := make(chan Info, 1)
+	go func() {
+		_, info := c.DoWithInfo("k", func() int {
+			close(started)
+			<-release
+			return 7
+		})
+		if !info.Created || info.Joined {
+			t.Errorf("leader info = %+v, want Created", info)
+		}
+		joined <- info
+	}()
+	<-started
+
+	done := make(chan Info, 1)
+	go func() {
+		_, info := c.DoWithInfo("k", func() int { return 0 })
+		done <- info
+	}()
+	// The joiner classifies before blocking on the once; give it a moment,
+	// then let the leader finish.
+	for c.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if info := <-done; !info.Joined || info.Created {
+		t.Fatalf("joiner info = %+v, want Joined", info)
+	}
+	<-joined
+
+	if v, info := c.DoWithInfo("k", func() int { return 0 }); v != 7 || info.Created || info.Joined {
+		t.Fatalf("completed-entry hit: v=%d info=%+v, want v=7 and neither flag", v, info)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 || s.Coalesced != 1 {
+		t.Fatalf("stats = %+v, want misses=1 hits=2 coalesced=1", s)
+	}
+}
+
+// TestCoalescedSubsetOfHits: under heavy same-key contention every call is
+// either the one miss, a coalesced hit, or a plain hit; coalesced never
+// exceeds hits and the sum of classifications covers every call.
+func TestCoalescedSubsetOfHits(t *testing.T) {
+	c := New[string, int](Options{Shards: 4}, StringHash)
+	var wg sync.WaitGroup
+	const workers = 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.DoWithInfo("hot", func() int {
+				time.Sleep(2 * time.Millisecond)
+				return 1
+			})
+		}()
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != workers-1 {
+		t.Fatalf("stats = %+v, want misses=1 hits=%d", s, workers-1)
+	}
+	if s.Coalesced < 1 || s.Coalesced > s.Hits {
+		t.Fatalf("coalesced = %d, want within [1, %d]", s.Coalesced, s.Hits)
 	}
 }

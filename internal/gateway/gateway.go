@@ -4,12 +4,16 @@
 // Compilation is deterministic and every backend caches whole responses
 // under the canonical request key (vliwq.Request.Canonical), so the win is
 // not load spreading alone — it is cache affinity. The gateway hashes the
-// canonical key (FNV-1a, then a splitmix64 finalizer so the routing
-// decision is decorrelated from the backend cache's own shard selection)
-// and routes each request to backends[hash % N]; identical requests
-// therefore always land on the backend that already holds the entry, and
-// the fleet's aggregate cache behaves like one cache N times the size with
-// no invalidation protocol at all. The layout deliberately mirrors the paper's clustered
+// structural key (vliwq.Request.StructuralKey — the knobs plus the loop's
+// dependence-graph fingerprint; FNV-1a, then a splitmix64 finalizer so the
+// routing decision is decorrelated from the backend cache's own shard
+// selection) and routes each request to backends[hash % N]; identical AND
+// isomorphic requests therefore always land on the backend that already
+// holds the entry or its isomorphism class, and the fleet's aggregate cache
+// behaves like one cache N times the size with no invalidation protocol at
+// all. Concurrent /compile calls for one exact key additionally coalesce
+// into a single dispatch (coalesce.go), so a failover retry joins the
+// in-flight ring walk instead of stampeding a peer. The layout deliberately mirrors the paper's clustered
 // machine: backends are clusters, the hash is the partitioning rule, and
 // failover moves work to the ring-adjacent neighbour only — the same
 // locality discipline the scheduler applies to values crossing clusters.
@@ -129,6 +133,12 @@ type Gateway struct {
 	latWindow *metrics.Window
 	hedges    atomic.Int64 // hedged attempts launched
 	hedgeWins atomic.Int64 // hedges that answered before the primary
+
+	// Coalescing (coalesce.go): one in-flight dispatch per exact canonical
+	// key; coalesced counts the callers served by another's dispatch.
+	flightMu  sync.Mutex
+	flights   map[string]*flight
+	coalesced atomic.Int64
 }
 
 // New builds a Gateway over cfg.Backends.
@@ -137,7 +147,8 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, errors.New("gateway: no backends configured")
 	}
 	g := &Gateway{cfg: cfg, client: cfg.Client, start: time.Now(),
-		latWindow: metrics.NewWindow(512)}
+		latWindow: metrics.NewWindow(512),
+		flights:   make(map[string]*flight)}
 	threshold := cfg.BreakerThreshold
 	if threshold == 0 {
 		threshold = 5
@@ -212,12 +223,16 @@ func (g *Gateway) maxBatch() int {
 }
 
 // Route reports the ring slot owning one compile request: a stable mix of
-// the canonical key's (vliwq.Request.Canonical) FNV-1a hash, modulo the
-// ring size. This is the whole routing rule — no state, no coordination;
-// determinism is what makes the sharded caches effective. Canonical
-// normalizes before encoding, so every spelling of the same behaviour —
-// an omitted machine vs "single:6", an omitted copy shape vs "tree" —
-// routes to the one backend whose cache already holds the entry.
+// the structural key's (vliwq.Request.StructuralKey) FNV-1a hash, modulo
+// the ring size. This is the whole routing rule — no state, no
+// coordination; determinism is what makes the sharded caches effective.
+// The structural key normalizes the knobs AND fingerprints the loop's
+// dependence graph, so every spelling of the same behaviour — an omitted
+// machine vs "single:6", and since PR 7 a renamed or renumbered spelling of
+// the same loop — routes to the one backend whose caches already hold the
+// class (exact entries for seen spellings, the structural entry for new
+// ones). Requests whose loop cannot be fingerprinted fall back to the exact
+// canonical key inside StructuralKey itself, so routing stays total.
 //
 // The mix step matters: the backend cache selects its internal shard from
 // the low bits of the same FNV-1a hash, so routing on the raw hash would
@@ -225,7 +240,7 @@ func (g *Gateway) maxBatch() int {
 // of its shards (with N backends = the shard count, exactly one). The
 // splitmix64 finalizer decorrelates the two decisions.
 func (g *Gateway) Route(req *service.CompileRequest) int {
-	return int(mix64(cache.StringHash(req.Canonical())) % uint64(len(g.backends)))
+	return int(mix64(cache.StringHash(req.StructuralKey())) % uint64(len(g.backends)))
 }
 
 // mix64 is the splitmix64 finalizer: a cheap bijective avalanche so every
@@ -527,13 +542,17 @@ func (g *Gateway) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	owner := g.Route(&req)
 	t0 := time.Now()
-	var status int
-	var hdr http.Header
-	var data []byte
-	if d := g.hedgeDelay(); d > 0 {
-		status, hdr, data, err = g.dispatchHedged(ctx, owner, body, d)
-	} else {
-		status, hdr, data, err = g.dispatch(ctx, owner, "/compile", body, 1)
+	// One in-flight dispatch per exact key: concurrent identical requests —
+	// and retries racing a slow owner's failover — join the leader's ring
+	// walk instead of launching their own (see coalesce.go).
+	status, hdr, data, err, joined := g.coalesce(ctx, req.Canonical(), func() (int, http.Header, []byte, error) {
+		if d := g.hedgeDelay(); d > 0 {
+			return g.dispatchHedged(ctx, owner, body, d)
+		}
+		return g.dispatch(ctx, owner, "/compile", body, 1)
+	})
+	if joined {
+		g.coalesced.Add(1)
 	}
 	if err != nil {
 		g.failDispatch(w, err)
@@ -789,8 +808,12 @@ type BackendStats struct {
 	BreakerOpens  int64  `json:"breaker_opens"`
 	BreakerCloses int64  `json:"breaker_closes"`
 
-	Cache cache.Stats        `json:"cache"` // from the backend, zero when unreachable
-	Sched service.SchedStats `json:"sched"`
+	Cache cache.Stats `json:"cache"` // from the backend, zero when unreachable
+	// Structural is the backend's isomorphism-class cache layer: hits
+	// served by remap, compiles coalesced across renamed spellings, and
+	// renumbered spellings that compiled fresh.
+	Structural service.StructuralStats `json:"structural"`
+	Sched      service.SchedStats      `json:"sched"`
 }
 
 // StatsResponse is the JSON body of GET /stats: per-backend detail plus
@@ -806,11 +829,18 @@ type StatsResponse struct {
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
 	// Hedges counts hedged /compile attempts launched; HedgeWins how many
 	// answered before their primary.
-	Hedges     int64              `json:"hedges"`
-	HedgeWins  int64              `json:"hedge_wins"`
-	Backends   []BackendStats     `json:"backends"`
-	TotalCache cache.Stats        `json:"total_cache"`
-	TotalSched service.SchedStats `json:"total_sched"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// Coalesced counts /compile calls served by joining another caller's
+	// in-flight dispatch for the same exact key — requests that cost the
+	// fleet no ring walk and no backend call at all.
+	Coalesced  int64          `json:"coalesced"`
+	Backends   []BackendStats `json:"backends"`
+	TotalCache cache.Stats    `json:"total_cache"`
+	// TotalStructural sums the backends' structural layers; Enabled is true
+	// when any backend has the layer on.
+	TotalStructural service.StructuralStats `json:"total_structural"`
+	TotalSched      service.SchedStats      `json:"total_sched"`
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -836,6 +866,7 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 		DeadlineExceeded: g.deadlineExceeded.Load(),
 		Hedges:           g.hedges.Load(),
 		HedgeWins:        g.hedgeWins.Load(),
+		Coalesced:        g.coalesced.Load(),
 		Backends:         make([]BackendStats, len(g.backends)),
 	}
 	ctx, cancel := g.fanoutContext(ctx)
@@ -859,6 +890,7 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 			if remote, err := g.fetchBackendStats(ctx, b); err == nil {
 				bs.Healthy = true
 				bs.Cache = remote.Cache
+				bs.Structural = remote.Structural
 				bs.Sched = remote.Sched
 			}
 			st.Backends[i] = bs
@@ -870,6 +902,12 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 		st.TotalCache.Misses += bs.Cache.Misses
 		st.TotalCache.Evictions += bs.Cache.Evictions
 		st.TotalCache.Entries += bs.Cache.Entries
+		st.TotalCache.Coalesced += bs.Cache.Coalesced
+		st.TotalStructural.Enabled = st.TotalStructural.Enabled || bs.Structural.Enabled
+		st.TotalStructural.Hits += bs.Structural.Hits
+		st.TotalStructural.Coalesced += bs.Structural.Coalesced
+		st.TotalStructural.Renumbered += bs.Structural.Renumbered
+		st.TotalStructural.Entries += bs.Structural.Entries
 		st.TotalSched.Compiles += bs.Sched.Compiles
 		st.TotalSched.Errors += bs.Sched.Errors
 		st.TotalSched.OpsScheduled += bs.Sched.OpsScheduled

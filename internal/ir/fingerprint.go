@@ -1,0 +1,174 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Structural fingerprinting: a deterministic canonical-labeling pass over
+// the dependence graph, so that two loops that differ only in operand
+// naming — or, more aggressively, in statement numbering — hash to the
+// same isomorphism-class key. The serving stack keys its second-level
+// (structural) compile cache on Fingerprint and uses Skeleton equality as
+// the remap precondition: equal skeletons mean the pipeline treats the two
+// loops identically in every way except the names it prints, which is
+// exactly the property that makes a cached schedule safely renameable
+// (see DESIGN.md §12).
+
+// Skeleton returns the name-free structural encoding of the loop in given
+// statement order: operation kinds (with unroll lineage), the exact
+// dependence sequence, and the effective trip count and unroll factor.
+// Everything the compilation pipeline reads is in the skeleton; the only
+// loop content outside it is the loop name and the operation names. Two
+// loops with equal skeletons therefore compile to schedules that are
+// byte-identical after renaming — the invariant the structural cache's
+// remap step relies on.
+//
+// Skeleton is order-sensitive: permuting statements changes it even when
+// the loops stay isomorphic. That is deliberate — the scheduler's
+// tie-breaking is ID-based, so a permuted body may legitimately schedule
+// differently, and serving it a remapped schedule would break the
+// fresh-compile byte-identity guarantee. Fingerprint, by contrast, is
+// permutation-invariant; the gap between the two is observable as the
+// serving stack's structural.renumbered counter.
+func Skeleton(l *Loop) string {
+	var b strings.Builder
+	b.Grow(16 * (len(l.Ops) + len(l.Deps)))
+	fmt.Fprintf(&b, "sk1;t=%d;u=%d;n=%d;", l.TripCount(), l.Unroll, len(l.Ops))
+	for _, op := range l.Ops {
+		fmt.Fprintf(&b, "%d:%d:%d,", op.Kind, op.Orig, op.Phase)
+	}
+	b.WriteByte(';')
+	for _, d := range l.Deps {
+		fmt.Fprintf(&b, "%d>%d:%d:%d,", d.From, d.To, d.Dist, d.Kind)
+	}
+	return b.String()
+}
+
+// Fingerprint returns a deterministic hex digest of the loop's dependence
+// structure up to operand renaming and node renumbering: the
+// isomorphism-class key of the structural compile cache. Names never enter
+// the hash; statement order enters only through each dependence's operand
+// slot (operand order is semantic — `sub a b` and `sub b a` are different
+// loops — so it is preserved, while the numbering of the statements
+// themselves is canonicalized away).
+//
+// The labeling is Weisfeiler-Lehman-style color refinement: every op
+// starts from a color derived from its kind and unroll lineage, and each
+// round folds in the multiset of (direction, dep kind, distance, operand
+// slot, neighbor color) edge signatures until the color partition stops
+// refining. Residual ties are broken by statement order, which keeps the
+// pass linear-ish and deterministic; for the rare graphs WL cannot fully
+// split (highly symmetric bodies) two isomorphic spellings may then hash
+// differently. That costs a missed structural hit, never a wrong one —
+// hits are verified against the exact Skeleton before any schedule is
+// reused.
+func Fingerprint(l *Loop) string {
+	n := len(l.Ops)
+	// slot[i] is dep i's operand position: its index among the deps of the
+	// same kind entering the same consumer, the order FlowInputs exposes.
+	slot := make([]int, len(l.Deps))
+	{
+		type ck struct {
+			to   int
+			kind DepKind
+		}
+		seen := make(map[ck]int, len(l.Deps))
+		for i, d := range l.Deps {
+			k := ck{d.To, d.Kind}
+			slot[i] = seen[k]
+			seen[k]++
+		}
+	}
+
+	colors := make([]uint64, n)
+	for i, op := range l.Ops {
+		colors[i] = fpMix(0x9e3779b97f4a7c15 ^ uint64(op.Kind)<<32 ^
+			uint64(uint32(op.Orig))<<8 ^ uint64(uint32(op.Phase)))
+	}
+
+	next := make([]uint64, n)
+	sigs := make([][]uint64, n)
+	distinct := countDistinct(colors)
+	for round := 0; round < n; round++ {
+		for i := range sigs {
+			sigs[i] = sigs[i][:0]
+		}
+		for i, d := range l.Deps {
+			edge := fpMix(uint64(d.Kind)<<48 ^ uint64(uint32(d.Dist))<<16 ^ uint64(uint32(slot[i])))
+			// The consumer sees the producer's color and vice versa, tagged
+			// with the direction so in- and out-edges cannot cancel out.
+			sigs[d.To] = append(sigs[d.To], fpMix(edge^0xa5a5a5a5^colors[d.From]))
+			sigs[d.From] = append(sigs[d.From], fpMix(edge^0x5a5a5a5a5a^colors[d.To]))
+		}
+		for i := range next {
+			s := sigs[i]
+			sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+			h := colors[i]
+			for _, v := range s {
+				h = fpMix(h ^ v)
+			}
+			next[i] = h
+		}
+		copy(colors, next)
+		nd := countDistinct(colors)
+		if nd == distinct {
+			break // partition stable: further rounds cannot refine it
+		}
+		distinct = nd
+	}
+
+	// Canonical order: by final color, residual ties by statement order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return colors[order[a]] < colors[order[b]] })
+	canon := make([]int, n) // canon[id] = canonical index
+	for ci, id := range order {
+		canon[id] = ci
+	}
+
+	// Serialize the canonically relabeled skeleton and hash it.
+	var b strings.Builder
+	b.Grow(16 * (n + len(l.Deps)))
+	fmt.Fprintf(&b, "fp1;t=%d;u=%d;n=%d;", l.TripCount(), l.Unroll, n)
+	for _, id := range order {
+		op := l.Ops[id]
+		fmt.Fprintf(&b, "%d:%d:%d,", op.Kind, op.Orig, op.Phase)
+	}
+	b.WriteByte(';')
+	edges := make([]string, len(l.Deps))
+	for i, d := range l.Deps {
+		edges[i] = fmt.Sprintf("%d>%d:%d:%d:%d", canon[d.From], canon[d.To], d.Dist, d.Kind, slot[i])
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e)
+		b.WriteByte(',')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// fpMix is the splitmix64 finalizer: a cheap bijective avalanche used to
+// combine color-refinement signatures.
+func fpMix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func countDistinct(colors []uint64) int {
+	seen := make(map[uint64]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

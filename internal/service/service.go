@@ -14,6 +14,14 @@
 // library, this service and the gateway share — and each distinct request
 // compiles exactly once per cache lifetime; concurrent identical requests
 // share one compute via the cache's per-entry sync.Once.
+//
+// Beneath the exact cache sits a structural cache keyed by
+// vliwq.Request.StructuralKey() — the knobs plus the loop's dependence-graph
+// fingerprint — so a request whose loop is a renamed spelling of one already
+// compiled reuses that compile via a name remap instead of running the
+// pipeline (DESIGN.md §12). Both levels coalesce concurrent misses into a
+// single compute; /stats surfaces the structural layer's hit, coalesced and
+// renumbered counters.
 package service
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"vliwq"
 	"vliwq/internal/cache"
+	"vliwq/internal/ir"
 	"vliwq/internal/metrics"
 	"vliwq/internal/pool"
 	"vliwq/internal/sched"
@@ -95,6 +104,12 @@ type Config struct {
 	// (exhaustive → balanced → fast), and recovers a step once the EWMA
 	// falls below half the target. 0 disables degradation.
 	SLOTarget time.Duration
+	// DisableStructural turns off the structural (isomorphism-class) cache
+	// layer: every exact-cache miss runs the pipeline, as before PR 7. The
+	// layer is also off whenever caching as a whole is disabled
+	// (CacheEntries < 0) — with no exact cache there is no miss path to
+	// intercept.
+	DisableStructural bool
 }
 
 // CompileRequest is the JSON body of POST /compile and each element of a
@@ -200,6 +215,28 @@ type SLOStats struct {
 	Degraded     int64   `json:"degraded"`
 }
 
+// StructuralStats reports the structural (isomorphism-class) cache layer:
+// how many exact-cache misses were served by remapping a structurally
+// cached compile instead of running the pipeline.
+type StructuralStats struct {
+	Enabled bool `json:"enabled"`
+	// Hits counts exact-misses served by remap: the loop was a renamed
+	// spelling of an already-compiled class, skeleton-verified.
+	Hits int64 `json:"hits"`
+	// Coalesced is the subset of Hits that joined a compile still in
+	// flight — concurrent isomorphic requests collapsed onto one pipeline
+	// run. (The exact cache separately coalesces byte-identical requests;
+	// its counter lives under cache.coalesced.)
+	Coalesced int64 `json:"coalesced"`
+	// Renumbered counts fingerprint matches rejected by the skeleton gate:
+	// the loop was isomorphic to a cached class but statement-renumbered,
+	// so it compiled fresh to preserve fresh-compile byte-identity.
+	Renumbered int64 `json:"renumbered"`
+	// Entries is the structural cache's current size (one per compiled
+	// isomorphism class).
+	Entries int64 `json:"entries"`
+}
+
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
@@ -210,12 +247,13 @@ type StatsResponse struct {
 	RequestErrors   int64   `json:"request_errors"`
 	// DeadlineExceeded counts requests whose propagated deadline cancelled
 	// the compile (answered 504).
-	DeadlineExceeded int64          `json:"deadline_exceeded"`
-	Admission        AdmissionStats `json:"admission"`
-	SLO              SLOStats       `json:"slo"`
-	CacheEnabled     bool           `json:"cache_enabled"`
-	Cache            cache.Stats    `json:"cache"`
-	Sched            SchedStats     `json:"sched"`
+	DeadlineExceeded int64           `json:"deadline_exceeded"`
+	Admission        AdmissionStats  `json:"admission"`
+	SLO              SLOStats        `json:"slo"`
+	CacheEnabled     bool            `json:"cache_enabled"`
+	Cache            cache.Stats     `json:"cache"`
+	Structural       StructuralStats `json:"structural"`
+	Sched            SchedStats      `json:"sched"`
 }
 
 // outcome is the cached unit: one request's response or its error rendered
@@ -230,14 +268,33 @@ type outcome struct {
 	ctxErr bool
 }
 
+// structEntry is the structural cache's unit: one isomorphism class's
+// compiled Result plus the skeleton of the spelling that compiled it — the
+// gate a later spelling must pass (skeleton equality = name-only
+// isomorphism) before the Result may be remapped onto its names. Errors
+// cache per class exactly as they do per exact key, with the same
+// context-error carve-out.
+type structEntry struct {
+	res    *vliwq.Result
+	skel   string
+	err    string
+	ctxErr bool
+}
+
 // Server is the vliwd HTTP service. Create one with New; it is safe for
 // concurrent use by any number of requests.
 type Server struct {
 	cfg      Config
 	compiler *vliwq.Compiler               // uncached session; the response cache below dedups
 	cache    *cache.Cache[string, outcome] // nil when caching is disabled
-	mux      *http.ServeMux
-	start    time.Time
+	// structs is the structural (isomorphism-class) cache beneath the exact
+	// cache: StructuralKey -> compiled Result. In-memory only — it holds
+	// live Result graphs, which the snapshot codec deliberately does not
+	// serialize (a warm restart repopulates it from recompiles; the exact
+	// cache is what persists). Nil when disabled.
+	structs *cache.Cache[string, structEntry]
+	mux     *http.ServeMux
+	start   time.Time
 
 	compileRequests atomic.Int64
 	batchRequests   atomic.Int64
@@ -256,6 +313,11 @@ type Server struct {
 
 	// timeouts counts compiles cancelled by a propagated deadline (504s).
 	timeouts atomic.Int64
+
+	// Structural-layer counters (see StructuralStats).
+	structHits       atomic.Int64
+	structCoalesced  atomic.Int64
+	structRenumbered atomic.Int64
 
 	compiles      atomic.Int64
 	compileErrors atomic.Int64
@@ -287,6 +349,12 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries >= 0 {
 		s.cache = cache.New[string, outcome](
 			cache.Options{MaxEntries: cfg.CacheEntries}, cache.StringHash)
+		if !cfg.DisableStructural {
+			// One entry per compiled isomorphism class; the same bound as
+			// the exact cache is generous (classes <= exact keys).
+			s.structs = cache.New[string, structEntry](
+				cache.Options{MaxEntries: cfg.CacheEntries}, cache.StringHash)
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/compile", s.handleCompile)
@@ -325,21 +393,19 @@ func (s *Server) maxBody() int64 {
 	return 4 << 20
 }
 
-// compute runs the pipeline for one normalized request and renders the
-// outcome. It feeds the scheduler counters — including the per-stage
-// wall-clock and per-machine-spec tallies the staged engine exposes; the
-// cached path replays the outcome without recounting.
-func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
+// runPipeline executes one compile for a normalized request and feeds
+// every scheduler counter — including the per-stage wall-clock and
+// per-machine-spec tallies the staged engine exposes; cached paths (exact
+// and structural) replay outcomes without recounting. On error it returns
+// the rendered error string plus the context-cancellation flag.
+func (s *Server) runPipeline(ctx context.Context, req CompileRequest) (*vliwq.Result, string, bool) {
 	s.compiles.Add(1)
 	t0 := time.Now()
 	res, err := s.compiler.Run(ctx, req)
 	if err != nil {
 		s.compileErrors.Add(1)
-		return outcome{
-			err: err.Error(),
-			ctxErr: errors.Is(err, context.Canceled) ||
-				errors.Is(err, context.DeadlineExceeded),
-		}
+		return nil, err.Error(), errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded)
 	}
 	s.observeLatency(time.Since(t0))
 	s.opsScheduled.Add(int64(len(res.Sched.Loop.Ops)))
@@ -351,7 +417,15 @@ func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
 	s.machinesMu.Lock()
 	s.machines[req.Machine]++
 	s.machinesMu.Unlock()
-	return outcome{resp: &CompileResponse{
+	return res, "", false
+}
+
+// render materializes the response for one compiled Result. The remap step
+// guarantees a structurally served Result renders byte-identically to a
+// fresh compile of the same spelling, so render never needs to know which
+// path produced its input.
+func (s *Server) render(res *vliwq.Result, effort string) *CompileResponse {
+	return &CompileResponse{
 		Loop:       res.Input.Name,
 		Machine:    res.Sched.Machine.Name,
 		Unrolled:   res.Unrolled,
@@ -362,11 +436,98 @@ func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
 		IPCDynamic: res.IPCDynamic,
 		Queues:     res.Queues,
 		RingQueues: res.RingQueues,
-		Effort:     req.Effort,
+		Effort:     effort,
 		Strategy:   res.Strategy,
 		Report:     res.Report(),
 		Kernel:     res.KernelSchedule(),
-	}}
+	}
+}
+
+// compute runs the pipeline for one normalized request and renders the
+// outcome — the structural-cache-free path (structural layer disabled,
+// unparseable loops, renumbered spellings).
+func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
+	res, errStr, ctxErr := s.runPipeline(ctx, req)
+	if errStr != "" {
+		return outcome{err: errStr, ctxErr: ctxErr}
+	}
+	return outcome{resp: s.render(res, req.Effort)}
+}
+
+// compileClass runs the pipeline for the first spelling of an isomorphism
+// class and records, alongside the Result, the skeleton of the loop that
+// compiled — the remap precondition every later spelling is checked
+// against.
+func (s *Server) compileClass(ctx context.Context, req CompileRequest, loop *vliwq.Loop) structEntry {
+	res, errStr, ctxErr := s.runPipeline(ctx, req)
+	if errStr != "" {
+		return structEntry{err: errStr, ctxErr: ctxErr}
+	}
+	return structEntry{res: res, skel: ir.Skeleton(loop)}
+}
+
+// computeRouted is the exact-cache miss path: before running the pipeline
+// it consults the structural cache, so a loop that is a renamed spelling of
+// an already-compiled class is served by remapping that class's Result onto
+// the caller's names — verified byte-identical to a fresh compile by the
+// skeleton gate. Concurrent misses on one class (including a renamed
+// spelling racing the original) coalesce onto a single pipeline run via the
+// cache's singleflight semantics; structural.coalesced counts the joiners.
+//
+// Fallbacks preserve pre-structural behaviour exactly: a disabled layer, an
+// unparseable loop (the pipeline owns the error text), or a fingerprint
+// match whose skeleton differs (statement-renumbered — the scheduler's
+// ID-based tie-breaking may schedule it differently, so a remap could
+// violate byte-identity) all run the plain compute path; renumbered
+// sightings are counted so the missed reuse is observable.
+func (s *Server) computeRouted(ctx context.Context, req CompileRequest) outcome {
+	if s.structs == nil {
+		return s.compute(ctx, req)
+	}
+	loop, err := vliwq.ParseLoop(req.Loop)
+	if err != nil {
+		return s.compute(ctx, req)
+	}
+	skey := req.StructuralKey()
+	ent, info := s.structs.DoWithInfo(skey, func() structEntry {
+		return s.compileClass(ctx, req, loop)
+	})
+	if ent.ctxErr {
+		// Context errors belong to the first caller's deadline, not the
+		// class; forget the entry so the next spelling recompiles.
+		s.structs.Forget(skey)
+		return outcome{err: ent.err, ctxErr: true}
+	}
+	if ent.err != "" {
+		if info.Created {
+			return outcome{err: ent.err}
+		}
+		// A cached pipeline error was rendered against the class leader's
+		// spelling, and error text can embed operand names. Recompute under
+		// the caller's own names so an error response is byte-identical to
+		// a fresh compile, exactly like a success response.
+		return s.compute(ctx, req)
+	}
+	if info.Created {
+		// This call ran the compile; its Result already carries the
+		// caller's names.
+		return outcome{resp: s.render(ent.res, req.Effort)}
+	}
+	if ir.Skeleton(loop) != ent.skel {
+		s.structRenumbered.Add(1)
+		return s.compute(ctx, req)
+	}
+	remapped, rerr := vliwq.RemapResult(ent.res, loop)
+	if rerr != nil {
+		// Unreachable given the skeleton gate above; compile fresh rather
+		// than fail the request on a cache-layer defect.
+		return s.compute(ctx, req)
+	}
+	s.structHits.Add(1)
+	if info.Joined {
+		s.structCoalesced.Add(1)
+	}
+	return outcome{resp: s.render(remapped, req.Effort)}
 }
 
 // maxDegradeLevel is the ladder's floor: two steps take exhaustive all the
@@ -437,11 +598,13 @@ type clientError struct{ error }
 // (HTTP 504) as opposed to a loop the pipeline rejects (HTTP 422).
 type timeoutError struct{ error }
 
-// compileOne serves one request through the cache, keyed by the request's
-// canonical encoding — the same key the gateway's hash ring routes on,
-// which is what keeps the fleet cache-affine. The request is normalized
-// first, so every spelling of the same behaviour ("" vs "single:6") lands
-// on one entry; Normalize errors are client errors (HTTP 400).
+// compileOne serves one request through the cache layers — exact first
+// (keyed by Canonical(), holding rendered responses), then structural on an
+// exact miss (keyed by StructuralKey(), holding compiled Results remapped
+// onto each spelling's names; see computeRouted), then the pipeline. The
+// request is normalized first, so every spelling of the same behaviour
+// ("" vs "single:6") lands on one entry; Normalize errors are client
+// errors (HTTP 400).
 //
 // Degradation happens between Normalize and Canonical: when the SLO ladder
 // is active, the request's effort is lowered in place first, so the compile
@@ -467,7 +630,7 @@ func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileR
 	if s.cache != nil {
 		key := r.Canonical()
 		oc = s.cache.Do(key, func() outcome {
-			return s.compute(ctx, r)
+			return s.computeRouted(ctx, r)
 		})
 		if oc.ctxErr {
 			s.cache.Forget(key)
@@ -699,6 +862,15 @@ func (s *Server) Stats() StatsResponse {
 	s.machinesMu.Unlock()
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
+	}
+	st.Structural = StructuralStats{
+		Enabled:    s.structs != nil,
+		Hits:       s.structHits.Load(),
+		Coalesced:  s.structCoalesced.Load(),
+		Renumbered: s.structRenumbered.Load(),
+	}
+	if s.structs != nil {
+		st.Structural.Entries = s.structs.Stats().Entries
 	}
 	return st
 }

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"vliwq"
+	"vliwq/internal/corpus"
+)
+
+const structTestLoop = `loop daxpy
+trip 200
+op a load
+op x load
+op y load
+op m mul a
+op s add m y
+op st store s
+carried s m 1
+mem st a 1
+`
+
+// renameSpelling parses a loop text and rewrites every name (ops and the
+// loop itself) to a fresh namespace, preserving structure, statement order
+// and operand order exactly — the name-only-isomorphic spelling the
+// structural cache serves by remap.
+func renameSpelling(t testing.TB, src, prefix string) string {
+	t.Helper()
+	l, err := vliwq.ParseLoop(src)
+	if err != nil {
+		t.Fatalf("renameSpelling: %v", err)
+	}
+	l.Name = prefix + l.Name
+	for i, op := range l.Ops {
+		if op.Name != "" {
+			op.Name = fmt.Sprintf("%s%d", prefix, i)
+		}
+	}
+	return vliwq.FormatLoop(l)
+}
+
+// TestStructuralHitServesRenamedSpelling: a renamed spelling of a compiled
+// loop is served from the structural cache — one pipeline run, a counted
+// hit, and a response byte-identical to a fresh server compiling the
+// renamed spelling from scratch.
+func TestStructuralHitServesRenamedSpelling(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fresh := httptest.NewServer(New(Config{}).Handler())
+	defer fresh.Close()
+
+	renamed := renameSpelling(t, structTestLoop, "z")
+	if r, _ := postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: structTestLoop}); r.StatusCode != 200 {
+		t.Fatalf("original compile: status %d", r.StatusCode)
+	}
+	r1, got := postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: renamed})
+	r2, want := postJSON(t, fresh.Client(), fresh.URL+"/compile", CompileRequest{Loop: renamed})
+	if r1.StatusCode != 200 || r2.StatusCode != 200 {
+		t.Fatalf("renamed compiles: status %d / %d", r1.StatusCode, r2.StatusCode)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("structural hit not byte-identical to fresh compile:\nhit:   %s\nfresh: %s", got, want)
+	}
+
+	st := srv.Stats()
+	if st.Sched.Compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (renamed spelling must reuse the class compile)", st.Sched.Compiles)
+	}
+	if st.Structural.Hits != 1 || st.Structural.Renumbered != 0 || !st.Structural.Enabled {
+		t.Fatalf("structural stats = %+v, want enabled with hits=1", st.Structural)
+	}
+	if st.Cache.Misses != 2 {
+		t.Fatalf("exact misses = %d, want 2 (distinct spellings keep distinct exact keys)", st.Cache.Misses)
+	}
+}
+
+// TestStructuralRenumberedCompilesFresh: a statement-permuted spelling
+// shares the fingerprint but fails the skeleton gate, so it compiles fresh
+// (and is counted) — serving a remap could diverge from what the scheduler
+// would do with the permuted IDs.
+func TestStructuralRenumberedCompilesFresh(t *testing.T) {
+	permuted := `loop daxpy
+trip 200
+op x load
+op a load
+op y load
+op m mul a
+op s add m y
+op st store s
+carried s m 1
+mem st a 1
+`
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fresh := httptest.NewServer(New(Config{}).Handler())
+	defer fresh.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: structTestLoop})
+	_, got := postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: permuted})
+	_, want := postJSON(t, fresh.Client(), fresh.URL+"/compile", CompileRequest{Loop: permuted})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("renumbered spelling diverged from fresh compile:\n%s\nvs\n%s", got, want)
+	}
+	st := srv.Stats()
+	if st.Sched.Compiles != 2 || st.Structural.Hits != 0 || st.Structural.Renumbered != 1 {
+		t.Fatalf("stats = compiles=%d structural=%+v, want 2 compiles and renumbered=1",
+			st.Sched.Compiles, st.Structural)
+	}
+}
+
+// TestStructuralDisabled: with DisableStructural set, renamed spellings
+// compile independently, as before the structural layer existed.
+func TestStructuralDisabled(t *testing.T) {
+	srv := New(Config{DisableStructural: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: structTestLoop})
+	postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: renameSpelling(t, structTestLoop, "z")})
+	st := srv.Stats()
+	if st.Sched.Compiles != 2 || st.Structural.Enabled || st.Structural.Hits != 0 {
+		t.Fatalf("stats = compiles=%d structural=%+v, want 2 compiles with the layer disabled",
+			st.Sched.Compiles, st.Structural)
+	}
+}
+
+// TestStructuralCoalescing: concurrent isomorphic-but-renamed requests
+// collapse onto one pipeline run; the joiners count as coalesced hits.
+func TestStructuralCoalescing(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const spellings = 8
+	var wg sync.WaitGroup
+	for i := 0; i < spellings; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			loop := renameSpelling(t, structTestLoop, fmt.Sprintf("p%dq", i))
+			r, _ := postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: loop})
+			if r.StatusCode != 200 {
+				t.Errorf("spelling %d: status %d", i, r.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Sched.Compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (all spellings share one class compile)", st.Sched.Compiles)
+	}
+	if st.Structural.Hits != spellings-1 {
+		t.Fatalf("structural hits = %d, want %d", st.Structural.Hits, spellings-1)
+	}
+	if st.Structural.Coalesced > st.Structural.Hits {
+		t.Fatalf("coalesced = %d exceeds hits = %d", st.Structural.Coalesced, st.Structural.Hits)
+	}
+}
+
+// TestStructuralRemapPropertyStressed is the property test: across a slice
+// of the stressed corpus (wide fanout, dense recurrences — the shapes most
+// likely to expose a remap defect), every structural-hit response must be
+// byte-identical to compiling the renamed spelling from scratch on an
+// independent server. Error responses must agree too: a pipeline rejection
+// is rendered under the caller's names on both paths.
+func TestStructuralRemapPropertyStressed(t *testing.T) {
+	const n = 48
+	loops := corpus.Stressed()[:n]
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fresh := httptest.NewServer(New(Config{}).Handler())
+	defer fresh.Close()
+
+	okCount := 0
+	for i, l := range loops {
+		orig := vliwq.FormatLoop(l)
+		renamed := renameSpelling(t, orig, "q")
+		req := CompileRequest{Loop: orig, Machine: "clustered:4", SkipVerify: true}
+		rreq := req
+		rreq.Loop = renamed
+
+		r0, _ := postJSON(t, ts.Client(), ts.URL+"/compile", req)
+		r1, got := postJSON(t, ts.Client(), ts.URL+"/compile", rreq)
+		r2, want := postJSON(t, fresh.Client(), fresh.URL+"/compile", rreq)
+		if r1.StatusCode != r2.StatusCode {
+			t.Fatalf("loop %d: status %d vs fresh %d", i, r1.StatusCode, r2.StatusCode)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("loop %d: structural-path response diverged from fresh compile:\n%s\nvs\n%s", i, got, want)
+		}
+		if r0.StatusCode == 200 && r1.StatusCode == 200 {
+			okCount++
+		}
+	}
+
+	st := srv.Stats()
+	if okCount == 0 {
+		t.Fatal("no stressed loop compiled successfully; property vacuous")
+	}
+	if st.Structural.Hits < int64(okCount) {
+		t.Fatalf("structural hits = %d, want >= %d (every successful renamed spelling must hit)",
+			st.Structural.Hits, okCount)
+	}
+	t.Logf("stressed property: %d/%d classes compiled, %d structural hits, %d renumbered",
+		okCount, n, st.Structural.Hits, st.Structural.Renumbered)
+}

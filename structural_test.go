@@ -1,0 +1,199 @@
+package vliwq
+
+import (
+	"strings"
+	"testing"
+)
+
+const structBase = `
+loop daxpy
+trip 200
+op a load
+op x load
+op y load
+op m mul a
+op s add m y
+op st store s
+carried s m 1
+mem st a 1
+`
+
+// structRenamed is structBase with every name (ops and loop) replaced;
+// structure, statement order and operand order are untouched.
+const structRenamed = `
+loop zloop
+trip 200
+op p0 load
+op p1 load
+op p2 load
+op q0 mul p0
+op q1 add q0 p2
+op w store q1
+carried q1 q0 1
+mem w p0 1
+`
+
+// structPermuted is structBase with the first two loads swapped: same
+// fingerprint class, different skeleton.
+const structPermuted = `
+loop daxpy
+trip 200
+op x load
+op a load
+op y load
+op m mul a
+op s add m y
+op st store s
+carried s m 1
+mem st a 1
+`
+
+func TestStructuralKeyGroupsRenamedSpellings(t *testing.T) {
+	a := Request{Loop: structBase}
+	b := Request{Loop: structRenamed}
+	c := Request{Loop: structPermuted}
+	if a.Canonical() == b.Canonical() {
+		t.Fatal("renamed spellings must have distinct exact keys")
+	}
+	if a.StructuralKey() != b.StructuralKey() {
+		t.Fatal("renamed spellings must share a structural key")
+	}
+	if a.StructuralKey() != c.StructuralKey() {
+		t.Fatal("statement-permuted spellings must share a structural key")
+	}
+	if !strings.HasPrefix(a.StructuralKey(), "sq1;m=single:6;") {
+		t.Fatalf("structural key %q lacks canonical knob prefix", a.StructuralKey())
+	}
+}
+
+func TestStructuralKeySeparatesKnobs(t *testing.T) {
+	base := Request{Loop: structBase}
+	variants := []Request{
+		{Loop: structBase, Machine: "clustered:4"},
+		{Loop: structBase, Unroll: true},
+		{Loop: structBase, UnrollFactor: 2},
+		{Loop: structBase, CopyShape: "chain"},
+		{Loop: structBase, Effort: "balanced"},
+		{Loop: structBase, SkipVerify: true},
+		{Loop: structBase, Machine: "clustered:4", AllowMoves: true},
+		{Loop: structBase, Machine: "clustered:4", CommLatency: 2},
+	}
+	for i, v := range variants {
+		if v.StructuralKey() == base.StructuralKey() {
+			t.Errorf("variant %d shares the base structural key", i)
+		}
+	}
+	// Default spellings still collapse, as with Canonical().
+	explicit := Request{Loop: structBase, Machine: "single:6", CopyShape: "tree", Effort: "fast"}
+	if explicit.StructuralKey() != base.StructuralKey() {
+		t.Fatal("default spellings must share a structural key")
+	}
+}
+
+func TestStructuralKeyFallsBackToCanonical(t *testing.T) {
+	bad := []Request{
+		{Loop: ""},                                // fails Normalize
+		{Loop: "loop x\nop a frobnicate\n"},       // fails parse
+		{Loop: structBase, Machine: "warp:9"},     // bad machine
+		{Loop: structBase, Effort: "impossible"},  // bad effort
+		{Loop: structBase, UnrollFactor: 9000000}, // out of range
+	}
+	for i, r := range bad {
+		if got := r.StructuralKey(); got != r.Canonical() {
+			t.Errorf("invalid request %d: structural key %q != canonical fallback", i, got)
+		}
+	}
+}
+
+// TestRemapResultByteIdentical is the core invariant: remapping a compiled
+// result onto a renamed spelling renders byte-identically to compiling the
+// renamed loop from scratch, across machine shapes, unrolling and the
+// move extension.
+func TestRemapResultByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request // only the knobs are read; Options() maps them
+	}{
+		{"single", Request{}},
+		{"clustered", Request{Machine: "clustered:4"}},
+		{"unrolled", Request{Unroll: true}},
+		{"forced-unroll", Request{Machine: "clustered:2", UnrollFactor: 3}},
+		{"chain-copies", Request{CopyShape: "chain"}},
+		{"moves", Request{Machine: "clustered:4", AllowMoves: true, CommLatency: 1}},
+		{"exhaustive", Request{Machine: "clustered:4", Effort: "exhaustive"}},
+	}
+	from, err := ParseLoop(structBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := ParseLoop(structRenamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.req.Loop = structBase
+			opts, err := tc.req.Options()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := Compile(from.Clone(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Compile(to.Clone(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remapped, err := RemapResult(cached, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := remapped.Report(), fresh.Report(); got != want {
+				t.Errorf("Report mismatch:\nremap:\n%s\nfresh:\n%s", got, want)
+			}
+			if got, want := remapped.KernelSchedule(), fresh.KernelSchedule(); got != want {
+				t.Errorf("KernelSchedule mismatch:\nremap:\n%s\nfresh:\n%s", got, want)
+			}
+			if got, want := FormatLoop(remapped.AfterCopies), FormatLoop(fresh.AfterCopies); got != want {
+				t.Errorf("AfterCopies mismatch:\nremap:\n%s\nfresh:\n%s", got, want)
+			}
+			if got, want := FormatLoop(remapped.Input), FormatLoop(to); got != want {
+				t.Errorf("remapped Input differs from target loop:\n%s\nvs\n%s", got, want)
+			}
+			// The cached result must be untouched: its loops still carry the
+			// original names.
+			if cached.Input.Name != "daxpy" || cached.Sched.Loop == remapped.Sched.Loop {
+				t.Error("remap mutated or aliased the cached result's loops")
+			}
+		})
+	}
+}
+
+func TestRemapResultRejectsPermutedLoop(t *testing.T) {
+	from, _ := ParseLoop(structBase)
+	perm, _ := ParseLoop(structPermuted)
+	res, err := Compile(from, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RemapResult(res, perm); err == nil {
+		t.Fatal("remap onto a statement-permuted loop must be rejected")
+	}
+}
+
+func TestRemapResultIdentity(t *testing.T) {
+	from, _ := ParseLoop(structBase)
+	same, _ := ParseLoop(structBase)
+	res, err := Compile(from, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RemapResult(res, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res {
+		t.Fatal("remap onto an identically-named loop must be the identity")
+	}
+}
