@@ -1,17 +1,32 @@
 #!/bin/sh
-# bench_gate.sh <benchstat-comparison-file> [threshold-percent]
+# bench_gate.sh <benchstat-comparison-file> [threshold-percent] [baseline-file] [new-file]
 #
 # Gates a benchstat old-vs-new comparison: exits non-zero when any
 # benchmark's sec/op regressed by more than the threshold (default 15%).
-# Only the sec/op (legacy: time/op) section gates — B/op and allocs/op are
-# recorded for the trajectory but do not fail the build — and the geomean
+# Only the sec/op (legacy: time/op) section gates by percentage — B/op is
+# recorded for the trajectory but does not fail the build — and the geomean
 # summary line is skipped so one real regression is reported once, by name.
 # Works on both benchstat output formats: the table style with a
 # "│ sec/op │ ... vs base" header and the legacy
 # "name  old time/op  new time/op  delta" style.
+#
+# When the raw baseline and new benchmark files are also given, two more
+# gates arm:
+#   - allocs/op cap: every ScheduleLoop* benchmark in the new run must stay
+#     at or under ALLOC_CAP allocs/op (528, the pre-bitset scheduler's
+#     count — the packed core sits well under it, so crossing the cap means
+#     an allocation regression on the hot path, not noise).
+#   - missing benchmarks: every benchmark named in the baseline must appear
+#     in the new run. A benchmark that silently disappears (renamed,
+#     deleted, build-tagged out) would otherwise drop out of the percentage
+#     gate without anyone noticing.
 set -eu
 cmp_file="$1"
 threshold="${2:-15}"
+baseline_file="${3:-}"
+new_file="${4:-}"
+
+ALLOC_CAP=528
 
 awk -v max="$threshold" '
   /sec\/op/ || (/time\/op/ && /delta/) { insec = 1; next }
@@ -54,3 +69,49 @@ awk -v max="$threshold" '
     print "bench gate: OK (" compared " sec/op comparisons checked, none beyond " max "%)"
   }
 ' "$cmp_file"
+
+if [ -z "$baseline_file" ] || [ -z "$new_file" ]; then
+  echo "bench gate: allocs/op and missing-benchmark gates skipped (raw files not given)"
+  exit 0
+fi
+
+# Allocs/op cap on the scheduler hot path. Raw `go test -bench` lines look
+# like:  BenchmarkScheduleLoopClustered6   870   1234567 ns/op   27674 B/op   240 allocs/op
+awk -v cap="$ALLOC_CAP" '
+  $1 ~ /^BenchmarkScheduleLoop/ {
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "allocs/op") {
+        checked++
+        if ($i + 0 > cap) {
+          bad = 1
+          printf "allocs/op over the %d cap: %s = %s allocs/op\n", cap, $1, $i
+        }
+      }
+    }
+  }
+  END {
+    if (checked == 0) {
+      print "bench gate: BROKEN — no ScheduleLoop allocs/op rows found in the new run (was -benchmem dropped, or the benchmarks renamed?)"
+      exit 2
+    }
+    if (bad) {
+      print "bench gate: FAIL — scheduler-path allocation count regressed past the historical " cap " allocs/op"
+      exit 1
+    }
+    print "bench gate: OK (" checked " ScheduleLoop allocs/op rows at or under " cap ")"
+  }
+' "$new_file"
+
+# Every baseline benchmark must still exist in the new run.
+base_names="$(awk '$1 ~ /^Benchmark/ { print $1 }' "$baseline_file" | sort -u)"
+new_names="$(awk '$1 ~ /^Benchmark/ { print $1 }' "$new_file" | sort -u)"
+missing="$(printf '%s\n' "$base_names" | while read -r n; do
+  [ -n "$n" ] || continue
+  printf '%s\n' "$new_names" | grep -qx "$n" || printf '%s\n' "$n"
+done)"
+if [ -n "$missing" ]; then
+  echo "bench gate: FAIL — baseline benchmarks missing from the new run (renamed or deleted without refreshing bench/baseline.txt):"
+  printf '%s\n' "$missing"
+  exit 1
+fi
+echo "bench gate: OK (every baseline benchmark is present in the new run)"

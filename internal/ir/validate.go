@@ -3,6 +3,7 @@ package ir
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Validation errors returned by Loop.Validate. They are wrapped with
@@ -61,8 +62,102 @@ func (l *Loop) Validate() error {
 			return fmt.Errorf("%w: %v has %d", ErrTooManyInputs, op, nIn[i])
 		}
 	}
-	if _, err := l.TopoOrder(); err != nil {
-		return fmt.Errorf("%w: %v", ErrZeroDistCycle, err)
+	if l.hasZeroDistCycle() {
+		return fmt.Errorf("%w: loop %q", ErrZeroDistCycle, l.Name)
 	}
 	return nil
+}
+
+// zdcFrame is one explicit DFS stack entry of hasZeroDistCycle: a node and
+// its next-edge cursor.
+type zdcFrame struct{ v, i int32 }
+
+// zdcScratch recycles hasZeroDistCycle's working arrays; the scheduler
+// validates every input loop, so the check runs on every compile and its
+// allocations would otherwise dominate the fixed per-call cost.
+type zdcScratch struct {
+	off   []int32
+	flat  []int32
+	color []int8
+	stack []zdcFrame
+}
+
+var zdcPool = sync.Pool{New: func() any { return new(zdcScratch) }}
+
+// hasZeroDistCycle reports whether the Dist==0 subgraph contains a cycle
+// (three-colour iterative DFS). Validate used to detect this through a full
+// TopoOrder, whose deterministic smallest-ID-first ready list costs a
+// sorted insertion per node; the scheduler validates every input loop, so
+// the cycle check alone is worth an order-free implementation.
+func (l *Loop) hasZeroDistCycle() bool {
+	scr := zdcPool.Get().(*zdcScratch)
+	defer zdcPool.Put(scr)
+	n := len(l.Ops)
+	off := resize(scr.off, n+1)
+	scr.off = off
+	for i := range off {
+		off[i] = 0
+	}
+	for _, d := range l.Deps {
+		if d.Dist == 0 {
+			off[d.From+1]++
+		}
+	}
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	flat := resize(scr.flat, int(off[n]))
+	scr.flat = flat
+	for _, d := range l.Deps {
+		if d.Dist == 0 {
+			flat[off[d.From]] = int32(d.To)
+			off[d.From]++
+		}
+	}
+	for i := n; i > 0; i-- {
+		off[i] = off[i-1]
+	}
+	off[0] = 0
+	// color: 0 unvisited, 1 on the current DFS path, 2 done.
+	color := resize(scr.color, n)
+	scr.color = color
+	for i := range color {
+		color[i] = 0
+	}
+	stack := scr.stack[:0]
+	defer func() { scr.stack = stack }()
+	for s := 0; s < n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		stack = append(stack, zdcFrame{v: int32(s), i: off[s]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.i == off[f.v+1] {
+				color[f.v] = 2
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			w := flat[f.i]
+			f.i++
+			switch color[w] {
+			case 0:
+				color[w] = 1
+				stack = append(stack, zdcFrame{v: w, i: off[w]})
+			case 1:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resize returns s with length n, reusing its backing array when large
+// enough; the contents are unspecified (callers overwrite them).
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/bits"
 	"sync"
 
 	"vliwq/internal/ir"
@@ -13,12 +14,24 @@ import (
 // table and the worklist keep their storage across II attempts and — via
 // statePool — across ScheduleLoop calls, so the hot path of an attempt
 // allocates only when the loop grows past any previously seen size.
+//
+// Cross-attempt reuse goes further than storage: facts that depend only on
+// the pristine loop — the CSR precedence views, the per-op latency and FU
+// class tables, the per-cluster adjacency masks — are computed once per run
+// and shared by every II attempt. The working loop aliases the input
+// (copy-on-write): only an attempt that actually inserts move operations
+// pays for private op/dep copies and a CSR rebuild (detach, moves.go).
+// When several portfolio strategies race one loop, the same facts are
+// shared across the racing states through a raceMemo (memo.go).
 type state struct {
 	orig        *ir.Loop
-	loop        *ir.Loop // working copy; ops are shared, never mutated
+	loop        *ir.Loop // working view; ops are shared, never mutated
 	cfg         machine.Config
 	budgetRatio int
 	strat       Strategy // cluster-preference policy for this run
+	memo        *raceMemo
+	ref         bool // route probes through the scalar reference (ref.go)
+	mutated     bool // move ops inserted: loop/CSR detached from the input
 
 	ii       int
 	ordinal  int   // 1-based position of the current attempt, drives the budget multiplier
@@ -28,21 +41,38 @@ type state struct {
 	never    []bool
 	pinned   []int // fixed cluster for inserted moves, -1 otherwise
 	height   []int
-	preds    ir.Adj
+	preds    ir.Adj // working views: alias basePreds/baseSuccs until detach
 	succs    ir.Adj
 	table    mrt
 	load     []int // cached per-cluster reservation counts
 	allowed  []int // compact-mode cluster subset (nil = free placement)
 
+	// Pristine-loop facts, valid for every attempt until detach.
+	basePreds ir.Adj // header copies: own CSR, or the raceMemo's shared one
+	baseSuccs ir.Adj
+	ownPreds  ir.Adj // private CSR arenas for memo-less runs
+	ownSuccs  ir.Adj
+	mutPreds  ir.Adj // private CSR arenas rebuilt after move insertion
+	mutSuccs  ir.Adj
+	opsArena  []*ir.Op // copy-on-write buffers for detach
+	depsArena []ir.Dep
+	lat       []int                      // per-op latency: ownLat, or the raceMemo's shared table
+	class     []machine.FUClass          // per-op FU class: ownClass, or the raceMemo's
+	adjMasks  []uint64                   // per-cluster bitmask of ring-adjacent clusters
+	allMask   uint64                     // low NumClusters bits set
+	classMask [machine.NumClasses]uint64 // per-class bitmask of clusters providing it
+	ownLat    []int                      // private arenas backing the above for memo-less runs:
+	ownClass  []machine.FUClass          // a memo-bound header must never be refilled in place,
+	ownAdj    []uint64                   // the memo may already be pooled and rebound elsewhere
 	wl        worklist
-	prefBuf   []clusterPref // scratch for clusterPrefs ordering
+	prefBuf   []clusterPref // scratch for the reference preference ordering (ref.go)
 	prefOut   []int         // scratch for the returned preference order
-	pinnedBuf [1]int        // scratch for a single pinned preference
 	pathBuf   []int         // scratch for move-chain ring paths
 	settleBuf []ir.Dep      // scratch for settle's edge snapshot
 	iiBuf     []int         // scratch for the candidate-II sequence
 	minTBuf   []int         // per-cluster earliest cycle, per findSlot call
-	adjBuf    []bool        // per-cluster ring-adjacency verdict
+	adjBuf    []bool        // per-cluster ring-adjacency verdict (ref path)
+	rec       recScratch    // RecMII scratch (mii.go)
 
 	stats Stats
 }
@@ -53,11 +83,15 @@ type state struct {
 var statePool = sync.Pool{New: func() any { return new(state) }}
 
 // init binds the arena to a new input loop, reusing all prior storage.
-func (st *state) init(l *ir.Loop, cfg machine.Config, budgetRatio int, strat Strategy) {
+// memo, when non-nil, supplies the shared pristine-loop facts of a
+// portfolio race; ref routes feasibility probes through the scalar
+// reference implementation (the differential harness's toggle).
+func (st *state) init(l *ir.Loop, cfg machine.Config, budgetRatio int, strat Strategy, memo *raceMemo, ref bool) {
 	st.orig = l
 	st.cfg = cfg
 	st.budgetRatio = budgetRatio
 	st.strat = strat
+	st.memo = memo
 	st.ordinal = 0
 	st.stats = Stats{}
 	if st.loop == nil {
@@ -66,25 +100,115 @@ func (st *state) init(l *ir.Loop, cfg machine.Config, budgetRatio int, strat Str
 	st.loop.Name = l.Name
 	st.loop.Trip = l.Trip
 	st.loop.Unroll = l.Unroll
+
+	n := len(l.Ops)
+	nc := cfg.NumClusters()
+	// The packed adjacency masks hold one bit per cluster; machines wider
+	// than a word fall back to the scalar reference wholesale (the bitset
+	// fast path gains nothing there anyway).
+	st.ref = ref || nc > 64
+	if memo != nil {
+		// Share every pristine-loop and machine fact the race computed
+		// once. The three-index cap on lat/class forces any growOp append
+		// to reallocate privately instead of writing into shared storage.
+		st.lat = memo.lat[:n:n]
+		st.class = memo.class[:n:n]
+		st.adjMasks = memo.adjMasks
+		st.allMask = memo.allMask
+		st.classMask = memo.classMask
+		st.basePreds, st.baseSuccs = memo.preds, memo.succs
+		st.reset()
+		return
+	}
+	st.ownLat = refill(st.ownLat, n, 0)
+	st.ownClass = refill(st.ownClass, n, 0)
+	for i, op := range l.Ops {
+		st.ownLat[i] = op.Kind.Latency()
+		st.ownClass[i] = machine.ClassOf(op.Kind)
+	}
+	st.lat, st.class = st.ownLat, st.ownClass
+	if !st.ref {
+		st.ownAdj = refill(st.ownAdj, nc, 0)
+		st.allMask, st.classMask = maskInto(st.ownAdj, &cfg)
+		st.adjMasks = st.ownAdj
+	}
+	l.PredsInto(&st.ownPreds)
+	l.SuccsInto(&st.ownSuccs)
+	st.basePreds, st.baseSuccs = st.ownPreds, st.ownSuccs
 	st.reset()
 }
 
+// maskInto fills adj (length NumClusters) with the per-cluster ring
+// adjacency bitmasks and returns the all-clusters mask and the per-class
+// masks of clusters providing each FU class. Only meaningful for machines
+// of at most 64 clusters (one bit per cluster).
+func maskInto(adj []uint64, cfg *machine.Config) (uint64, [machine.NumClasses]uint64) {
+	nc := cfg.NumClusters()
+	for a := 0; a < nc; a++ {
+		var m uint64
+		for b := 0; b < nc; b++ {
+			if cfg.Adjacent(a, b) {
+				m |= 1 << uint(b)
+			}
+		}
+		adj[a] = m
+	}
+	all := ^uint64(0)
+	if nc < 64 {
+		all = 1<<uint(nc) - 1
+	}
+	var cm [machine.NumClasses]uint64
+	for class := machine.FUClass(0); class < machine.NumClasses; class++ {
+		var m uint64
+		for c := 0; c < nc; c++ {
+			if cfg.FUCount(c, class) > 0 {
+				m |= 1 << uint(c)
+			}
+		}
+		cm[class] = m
+	}
+	return all, cm
+}
+
 // reset prepares a fresh attempt on the pristine input loop. Op structs are
-// shared with the input (the scheduler never mutates them); only the op and
-// dependence lists are restored, so an attempt that inserted move operations
-// leaves no trace.
+// shared with the input (the scheduler never mutates them); the working op
+// and dependence views alias the input outright, so an attempt that
+// inserted move operations only has to drop its private copies (keeping
+// their storage for the next detach) and re-point at the input.
 func (st *state) reset() {
 	st.allowed = nil
-	st.loop.Ops = append(st.loop.Ops[:0], st.orig.Ops...)
-	st.loop.Deps = append(st.loop.Deps[:0], st.orig.Deps...)
+	if st.mutated {
+		// Recapture the grown copy-on-write buffers so the next detach
+		// reuses their high-water capacity, then restore the pristine view.
+		st.opsArena = st.loop.Ops[:0]
+		st.depsArena = st.loop.Deps[:0]
+		st.mutated = false
+	}
+	st.loop.Ops = st.orig.Ops
+	st.loop.Deps = st.orig.Deps
 	n := len(st.loop.Ops)
 	st.time = refill(st.time, n, -1)
 	st.cluster = refill(st.cluster, n, -1)
 	st.prevTime = refill(st.prevTime, n, -1)
 	st.pinned = refill(st.pinned, n, -1)
 	st.never = refill(st.never, n, true)
-	st.loop.PredsInto(&st.preds)
-	st.loop.SuccsInto(&st.succs)
+	st.preds = st.basePreds
+	st.succs = st.baseSuccs
+}
+
+// detach gives the working loop private op and dependence storage before
+// the first mutation of an attempt (move insertion). Until detach the
+// working views alias the input, so the common no-moves attempt never
+// copies the loop at all.
+func (st *state) detach() {
+	if st.mutated {
+		return
+	}
+	st.mutated = true
+	st.opsArena = append(st.opsArena[:0], st.loop.Ops...)
+	st.loop.Ops = st.opsArena
+	st.depsArena = append(st.depsArena[:0], st.loop.Deps...)
+	st.loop.Deps = st.depsArena
 }
 
 // refill returns s resized to n with every element set to v, reusing the
@@ -101,6 +225,18 @@ func refill[T any](s []T, n int, v T) []T {
 	return s
 }
 
+// uninit returns s resized to n WITHOUT clearing: the contents are
+// unspecified and the caller overwrites every element before reading it.
+// Scratch arrays that are fully rewritten each use (counting-sort outputs,
+// Tarjan low/comp, Bellman-Ford distances reset per component) take this
+// path to skip refill's clear pass.
+func uninit[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // tryII attempts to schedule every operation at the given II within the
 // budget. It returns true on success, leaving the placement in st.time and
 // st.cluster. Later attempts get a progressively larger budget: when the
@@ -113,10 +249,7 @@ func (st *state) tryII(ii int) bool {
 	st.computeHeights()
 
 	wl := &st.wl
-	wl.reset(st, len(st.loop.Ops))
-	for id := range st.loop.Ops {
-		wl.push(id)
-	}
+	wl.fill(st, len(st.loop.Ops))
 	mult := st.ordinal
 	if mult < 1 {
 		mult = 1
@@ -132,8 +265,7 @@ func (st *state) tryII(ii int) bool {
 		budget--
 		id := wl.pop()
 		st.stats.Placements++
-		estart := st.earliestStart(id)
-		t, c, ok := st.findSlot(id, estart)
+		t, c, estart, ok := st.findSlot(id)
 		if !ok {
 			if t, c, ok = st.forceSlot(id, estart, wl); !ok {
 				// No cluster can ever host the op (or nothing occupies the
@@ -154,7 +286,7 @@ func (st *state) earliestStart(id int) int {
 	estart := 0
 	for _, d := range st.preds.At(id) {
 		if tf := st.time[d.From]; tf >= 0 {
-			if e := tf + st.loop.Ops[d.From].Kind.Latency() - st.ii*d.Dist; e > estart {
+			if e := tf + st.lat[d.From] - st.ii*d.Dist; e > estart {
 				estart = e
 			}
 		}
@@ -162,213 +294,227 @@ func (st *state) earliestStart(id int) int {
 	return estart
 }
 
-// findSlot searches the II-wide window from estart for a (time, cluster)
-// placement that satisfies resources, scheduled-predecessor timing
-// (including communication latency) and the ring adjacency rule. When the
-// machine allows moves, a second pass accepts non-adjacent clusters (moves
-// are inserted later by settle).
+// findSlot searches the II-wide window from the op's earliest start for a
+// (time, cluster) placement that satisfies resources, scheduled-predecessor
+// timing (including communication latency) and the ring adjacency rule.
+// When the machine allows moves, a second pass accepts non-adjacent
+// clusters (moves are inserted later by settle). It returns the slot and
+// the earliest start it derived (the caller's forceSlot needs it on
+// failure).
 //
-// Feasibility splits into per-cluster facts (earliest legal cycle given
-// scheduled predecessors, ring adjacency to scheduled neighbours) and the
-// one per-cycle fact (a free FU in the reservation table). The per-cluster
-// facts cannot change during the search — nothing is placed or evicted —
-// so they are computed once per candidate cluster instead of once per
-// (cycle, cluster) pair, leaving only the MRT probe in the inner loop.
-func (st *state) findSlot(id, estart int) (int, int, bool) {
-	prefs := st.clusterPrefs(id)
-	if len(prefs) == 0 {
-		return 0, 0, false
+// Feasibility splits into per-op facts (earliest start, per-cluster
+// scheduled flow-neighbour counts, ring adjacency to those neighbours) and
+// the per-cycle fact (a free FU in the reservation table). The per-op
+// facts are gathered in ONE walk over the op's edge lists — the reference
+// implementation re-walks them once per candidate cluster — and the
+// adjacency verdicts compress to a word: the AND of the precomputed
+// per-cluster masks of every cluster holding a scheduled flow neighbour.
+// The whole per-cycle scan collapses to one firstFree bitmap probe per
+// cluster. The historical scan visited (cycle, cluster) pairs
+// lexicographically — cycle ascending, then preference order — so taking,
+// over the candidate clusters, the minimum earliest feasible cycle (ties
+// to the earlier preference position) reproduces its choice exactly; the
+// differential harness (ref.go) pins that equivalence on every probe.
+func (st *state) findSlot(id int) (int, int, int, bool) {
+	if st.ref {
+		estart := st.earliestStart(id)
+		t, c, ok := st.findSlotRef(id, estart)
+		return t, c, estart, ok
 	}
 	nc := st.cfg.NumClusters()
-	minT := refill(st.minTBuf, nc, 0)
-	adjOK := refill(st.adjBuf, nc, true)
-	st.minTBuf, st.adjBuf = minT, adjOK
-	for _, c := range prefs {
-		req := 0
-		for _, d := range st.preds.At(id) {
-			tf := st.time[d.From]
-			if tf < 0 {
-				continue
-			}
-			lat := st.loop.Ops[d.From].Kind.Latency()
-			if d.Kind == ir.Flow && st.cluster[d.From] != c {
-				lat += st.cfg.CommLatency
-			}
-			if r := tf + lat - st.ii*d.Dist; r > req {
-				req = r
-			}
+	var cntArr [64]int32 // nc <= 64 on the packed path (init falls back otherwise)
+	cnt := cntArr[:nc]
+	estart := 0
+	for _, d := range st.preds.At(id) {
+		tf := st.time[d.From]
+		if tf < 0 {
+			continue
 		}
-		minT[c] = req
-		ok := true
-		for _, d := range st.preds.At(id) {
-			if d.Kind == ir.Flow && st.time[d.From] >= 0 && !st.cfg.Adjacent(st.cluster[d.From], c) {
-				ok = false
-				break
-			}
+		if e := tf + st.lat[d.From] - st.ii*d.Dist; e > estart {
+			estart = e
 		}
-		if ok {
-			for _, d := range st.succs.At(id) {
-				if d.Kind == ir.Flow && st.time[d.To] >= 0 && !st.cfg.Adjacent(c, st.cluster[d.To]) {
-					ok = false
-					break
-				}
-			}
+		if d.Kind == ir.Flow {
+			cnt[st.cluster[d.From]]++
 		}
-		adjOK[c] = ok
 	}
-	class := machine.ClassOf(st.loop.Ops[id].Kind)
+	for _, d := range st.succs.At(id) {
+		if d.Kind == ir.Flow && st.time[d.To] >= 0 {
+			cnt[st.cluster[d.To]]++
+		}
+	}
+	adjMask := st.allMask
+	for x := 0; x < nc; x++ {
+		if cnt[x] > 0 {
+			adjMask &= st.adjMasks[x]
+		}
+	}
+	class := st.class[id]
 	pinned := st.pinned[id]
 	passes := 1
 	if st.cfg.AllowMoves && pinned < 0 {
 		passes = 2
 	}
-	for pass := 0; pass < passes; pass++ {
-		requireAdj := pass == 0
-		for t := estart; t < estart+st.ii; t++ {
+	end := estart + st.ii
+	comm := st.cfg.CommLatency
+	if st.allowed != nil {
+		// Compact fallback: the candidate order is the position in the
+		// mutually adjacent subset, so the historical ordered scan with its
+		// cannot-beat-the-incumbent skip applies directly.
+		prefs := st.allowedPrefs(class)
+		for pass := 0; pass < passes; pass++ {
+			requireAdj := pass == 0
+			bestT, bestC := -1, -1
 			for _, c := range prefs {
 				if pinned >= 0 && c != pinned {
 					continue
 				}
-				if requireAdj && !adjOK[c] {
+				if requireAdj && adjMask>>uint(c)&1 == 0 {
 					continue
 				}
-				if t < minT[c] {
+				t0 := estart
+				if comm > 0 {
+					t0 = st.minTFor(id, c)
+				}
+				if bestT >= 0 && t0 >= bestT {
 					continue
 				}
-				if st.table.free(t%st.ii, c, class) {
-					return t, c, true
+				if t, ok := st.table.firstFree(t0, end, c, class); ok && (bestT < 0 || t < bestT) {
+					bestT, bestC = t, c
+				}
+			}
+			if bestT >= 0 {
+				return bestT, bestC, estart, true
+			}
+		}
+		return 0, 0, estart, false
+	}
+	// Free placement: take the argmin over feasible candidates of
+	// (cycle, strategy key) — minimal cycle, ties to the key that sorts
+	// first. The reference scan walks (cycle, preference-position)
+	// lexicographically, and preference position is exactly key rank, so
+	// the argmin is the same slot without ever ordering the candidates;
+	// keys are computed lazily, only when a candidate survives the cycle
+	// comparison.
+	for pass := 0; pass < passes; pass++ {
+		requireAdj := pass == 0
+		bestT, bestC := -1, -1
+		var bestKey clusterPref
+		for m := st.classMask[class]; m != 0; m &= m - 1 {
+			c := bits.TrailingZeros64(m)
+			if pinned >= 0 && c != pinned {
+				continue
+			}
+			if requireAdj && adjMask>>uint(c)&1 == 0 {
+				continue
+			}
+			t0 := estart
+			if comm > 0 {
+				t0 = st.minTFor(id, c)
+			}
+			if bestC >= 0 {
+				if t0 > bestT {
+					continue // cannot reach the incumbent's cycle
+				}
+				if t0 == bestT {
+					p := st.prefKey(id, c, cnt)
+					if !p.before(bestKey) {
+						continue // could only tie, and loses the tie-break
+					}
+					if t, ok := st.table.firstFree(t0, end, c, class); ok && t == bestT {
+						bestC, bestKey = c, p
+					}
+					continue
+				}
+			}
+			t, ok := st.table.firstFree(t0, end, c, class)
+			if !ok {
+				continue
+			}
+			if bestC < 0 || t < bestT {
+				bestT, bestC, bestKey = t, c, st.prefKey(id, c, cnt)
+			} else if t == bestT {
+				if p := st.prefKey(id, c, cnt); p.before(bestKey) {
+					bestC, bestKey = c, p
 				}
 			}
 		}
-	}
-	return 0, 0, false
-}
-
-// clusterPref orders one cluster candidate by a strategy-specific key
-// vector: smaller k1 first, then k2, then k3, then cluster index. Every
-// strategy is expressed as a key assignment, so one insertion sort serves
-// the whole catalogue; the relation stays total (the index breaks every
-// tie), so the result is the unique sorted order.
-type clusterPref struct{ c, k1, k2, k3 int }
-
-func (p clusterPref) before(q clusterPref) bool {
-	if p.k1 != q.k1 {
-		return p.k1 < q.k1
-	}
-	if p.k2 != q.k2 {
-		return p.k2 < q.k2
-	}
-	if p.k3 != q.k3 {
-		return p.k3 < q.k3
-	}
-	return p.c < q.c
-}
-
-// prefHash is StrategyPerturb's deterministic jitter source: a splitmix64
-// finalizer over the (op, cluster) pair under a fixed salt. Same op, same
-// cluster, same verdict — across runs, platforms and worker interleavings.
-func prefHash(id, c int) uint64 {
-	h := uint64(id)*0x9e3779b97f4a7c15 ^ uint64(c)*0xbf58476d1ce4e5b9 ^ 0x5eed1998
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
-}
-
-// clusterPrefs orders the clusters for slot search under the run's
-// strategy (see the Strategy catalogue in strategy.go; StrategyBaseline
-// reproduces the historical order exactly). Clusters without an FU of the
-// op's class are excluded. The result aliases scratch buffers valid until
-// the next clusterPrefs call.
-func (st *state) clusterPrefs(id int) []int {
-	class := machine.ClassOf(st.loop.Ops[id].Kind)
-	if st.allowed != nil {
-		// Compact fallback mode: placement restricted to a mutually
-		// adjacent cluster subset, making the ring rule trivial. If the
-		// subset lacks the class entirely, fall back to the lowest
-		// cluster providing it.
-		out := st.prefOut[:0]
-		for _, c := range st.allowed {
-			if st.cfg.FUCount(c, class) > 0 {
-				out = append(out, c)
-			}
+		if bestC >= 0 {
+			return bestT, bestC, estart, true
 		}
-		if len(out) == 0 {
-			for c := 0; c < st.cfg.NumClusters(); c++ {
-				if st.cfg.FUCount(c, class) > 0 {
-					out = append(out, c)
-					break
-				}
-			}
-		}
-		st.prefOut = out
-		return out
 	}
-	// The candidate count is the cluster count (single digits), so an
-	// insertion sort into a reused buffer beats sort.Slice and its closure
-	// and interface allocations. The order relation is total (ties broken
-	// by cluster index), so the result matches any comparison sort.
-	nc := st.cfg.NumClusters()
-	prefs := st.prefBuf[:0]
-	for c := 0; c < nc; c++ {
-		if st.cfg.FUCount(c, class) == 0 {
+	return 0, 0, estart, false
+}
+
+// minTFor returns the earliest cycle at which cluster c can issue op id
+// given its scheduled predecessors, folding in the communication latency
+// of cross-cluster flow values. It is always >= earliestStart, so callers
+// on comm-latency machines use it as the per-cluster window start
+// directly.
+func (st *state) minTFor(id, c int) int {
+	req := 0
+	for _, d := range st.preds.At(id) {
+		tf := st.time[d.From]
+		if tf < 0 {
 			continue
 		}
-		// neigh counts already-scheduled flow neighbours on c; commDist
-		// sums their ring distances to c (the copy/communication cost of
-		// placing the op there). The distance sum is computed only for the
-		// strategy that ranks on it, keeping the baseline walk as cheap as
-		// it has always been.
-		neigh, commDist := 0, 0
-		wantDist := st.strat == StrategyAffinity
-		for _, d := range st.preds.At(id) {
-			if d.Kind == ir.Flow && st.time[d.From] >= 0 {
-				if st.cluster[d.From] == c {
-					neigh++
-				}
-				if wantDist {
-					commDist += st.cfg.RingDistance(st.cluster[d.From], c)
-				}
-			}
+		lat := st.lat[d.From]
+		if d.Kind == ir.Flow && st.cluster[d.From] != c {
+			lat += st.cfg.CommLatency
 		}
-		for _, d := range st.succs.At(id) {
-			if d.Kind == ir.Flow && st.time[d.To] >= 0 {
-				if st.cluster[d.To] == c {
-					neigh++
-				}
-				if wantDist {
-					commDist += st.cfg.RingDistance(st.cluster[d.To], c)
-				}
-			}
+		if r := tf + lat - st.ii*d.Dist; r > req {
+			req = r
 		}
-		p := clusterPref{c: c}
-		switch st.strat {
-		case StrategyLoadBalanced:
-			p.k1, p.k2 = st.load[c], -neigh
-		case StrategyAffinity:
-			p.k1, p.k2 = commDist, -neigh
-		case StrategyRoundRobin:
-			p.k1 = st.cfg.RingDistance(id%nc, c)
-		case StrategyPerturb:
-			h := prefHash(id, c)
-			p.k1, p.k2, p.k3 = -neigh, st.load[c]+int(h&1), int(h>>1&0xffff)
-		default: // StrategyBaseline
-			p.k1, p.k2 = -neigh, st.load[c]
-		}
-		i := len(prefs)
-		prefs = append(prefs, p)
-		for i > 0 && p.before(prefs[i-1]) {
-			prefs[i] = prefs[i-1]
-			i--
-		}
-		prefs[i] = p
 	}
-	st.prefBuf = prefs
+	return req
+}
+
+// prefKey computes one cluster's strategy-specific ranking key (see the
+// Strategy catalogue in strategy.go; StrategyBaseline reproduces the
+// historical order exactly) from the per-cluster scheduled flow-neighbour
+// counts.
+func (st *state) prefKey(id, c int, cnt []int32) clusterPref {
+	p := clusterPref{c: c}
+	neigh := int(cnt[c])
+	switch st.strat {
+	case StrategyLoadBalanced:
+		p.k1, p.k2 = st.load[c], -neigh
+	case StrategyAffinity:
+		commDist := 0
+		for x := range cnt {
+			if cnt[x] > 0 {
+				commDist += int(cnt[x]) * st.cfg.RingDistance(x, c)
+			}
+		}
+		p.k1, p.k2 = commDist, -neigh
+	case StrategyRoundRobin:
+		p.k1 = st.cfg.RingDistance(id%st.cfg.NumClusters(), c)
+	case StrategyPerturb:
+		h := prefHash(id, c)
+		p.k1, p.k2, p.k3 = -neigh, st.load[c]+int(h&1), int(h>>1&0xffff)
+	default: // StrategyBaseline
+		p.k1, p.k2 = -neigh, st.load[c]
+	}
+	return p
+}
+
+// allowedPrefs is the compact fallback's cluster ordering: placement
+// restricted to a mutually adjacent cluster subset, making the ring rule
+// trivial. If the subset lacks the class entirely, fall back to the lowest
+// cluster providing it.
+func (st *state) allowedPrefs(class machine.FUClass) []int {
 	out := st.prefOut[:0]
-	for _, p := range prefs {
-		out = append(out, p.c)
+	for _, c := range st.allowed {
+		if st.cfg.FUCount(c, class) > 0 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		for c := 0; c < st.cfg.NumClusters(); c++ {
+			if st.cfg.FUCount(c, class) > 0 {
+				out = append(out, c)
+				break
+			}
+		}
 	}
 	st.prefOut = out
 	return out
@@ -385,25 +531,84 @@ func (st *state) forceSlot(id, estart int, wl *worklist) (int, int, bool) {
 	if !st.never[id] && st.prevTime[id]+1 > t {
 		t = st.prevTime[id] + 1
 	}
-	var prefs []int
+	class := st.class[id]
 	if p := st.pinned[id]; p >= 0 {
-		st.pinnedBuf[0] = p
-		prefs = st.pinnedBuf[:]
-	} else {
-		prefs = st.clusterPrefs(id)
+		if st.slotFree(t%st.ii, p, class) {
+			return t, p, true
+		}
+		return st.evictLowest(t, p, class, wl)
 	}
-	if len(prefs) == 0 {
-		return 0, 0, false
+	if st.ref {
+		// Reference path: ordered preference list, first cluster with a
+		// free unit at this row, else evict from the top preference.
+		prefs := st.clusterPrefsRef(id)
+		if len(prefs) == 0 {
+			return 0, 0, false
+		}
+		for _, c := range prefs {
+			if st.table.freeScalar(t%st.ii, c, class) {
+				return t, c, true
+			}
+		}
+		return st.evictLowest(t, prefs[0], class, wl)
 	}
-	// Prefer a cluster with a free unit at this row; otherwise evict the
-	// lowest-priority occupant of the first preference.
-	class := machine.ClassOf(st.loop.Ops[id].Kind)
-	for _, c := range prefs {
-		if st.table.free(t%st.ii, c, class) {
-			return t, c, true
+	row := t % st.ii
+	if st.allowed != nil {
+		// Compact fallback: positional order — first subset cluster with a
+		// free unit, else evict from the subset head.
+		prefs := st.allowedPrefs(class)
+		if len(prefs) == 0 {
+			return 0, 0, false
+		}
+		for _, c := range prefs {
+			if st.table.free(row, c, class) {
+				return t, c, true
+			}
+		}
+		return st.evictLowest(t, prefs[0], class, wl)
+	}
+	// Packed path: "first preference with a free unit" is the minimal key
+	// among free candidates, and "the first preference" is the minimal key
+	// overall — one unsorted scan finds both.
+	nc := st.cfg.NumClusters()
+	var cntArr [64]int32 // nc <= 64 on the packed path (init falls back otherwise)
+	cnt := cntArr[:nc]
+	for _, d := range st.preds.At(id) {
+		if d.Kind == ir.Flow && st.time[d.From] >= 0 {
+			cnt[st.cluster[d.From]]++
 		}
 	}
-	c := prefs[0]
+	for _, d := range st.succs.At(id) {
+		if d.Kind == ir.Flow && st.time[d.To] >= 0 {
+			cnt[st.cluster[d.To]]++
+		}
+	}
+	freeC, allC := -1, -1
+	var freeKey, allKey clusterPref
+	for m := st.classMask[class]; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros64(m)
+		p := st.prefKey(id, c, cnt)
+		if allC < 0 || p.before(allKey) {
+			allC, allKey = c, p
+		}
+		if st.table.free(row, c, class) && (freeC < 0 || p.before(freeKey)) {
+			freeC, freeKey = c, p
+		}
+	}
+	if allC < 0 {
+		return 0, 0, false
+	}
+	if freeC >= 0 {
+		return t, freeC, true
+	}
+	return st.evictLowest(t, allC, class, wl)
+}
+
+// evictLowest evicts the lowest-priority occupant (minimal height, then
+// lowest ID — the occupant lists are ID-ordered by construction) of the
+// (t mod II, cluster, class) slot and claims it for the caller. It fails
+// only on a zero-FU slot, which has nothing to evict.
+func (st *state) evictLowest(t, c int, class machine.FUClass, wl *worklist) (int, int, bool) {
 	occ := st.table.occupants(t%st.ii, c, class)
 	if len(occ) == 0 {
 		return 0, 0, false
@@ -418,13 +623,22 @@ func (st *state) forceSlot(id, estart int, wl *worklist) (int, int, bool) {
 	return t, c, true
 }
 
+// slotFree probes one (row, cluster, class) slot, through the scalar
+// reference when the run is pinned to it.
+func (st *state) slotFree(row, cluster int, class machine.FUClass) bool {
+	if st.ref {
+		return st.table.freeScalar(row, cluster, class)
+	}
+	return st.table.free(row, cluster, class)
+}
+
 // place commits op id to (t, c) in the reservation table.
 func (st *state) place(id, t, c int) {
 	st.time[id] = t
 	st.cluster[id] = c
 	st.prevTime[id] = t
 	st.never[id] = false
-	st.table.add(t%st.ii, c, machine.ClassOf(st.loop.Ops[id].Kind), id)
+	st.table.add(t%st.ii, c, st.class[id], id)
 	st.load[c]++
 }
 
@@ -433,7 +647,7 @@ func (st *state) evict(id int, wl *worklist) {
 	if st.time[id] < 0 {
 		return
 	}
-	st.table.remove(st.time[id]%st.ii, st.cluster[id], machine.ClassOf(st.loop.Ops[id].Kind), id)
+	st.table.remove(st.time[id]%st.ii, st.cluster[id], st.class[id], id)
 	st.load[st.cluster[id]]--
 	st.time[id] = -1
 	st.cluster[id] = -1
@@ -446,9 +660,68 @@ func (st *state) evict(id int, wl *worklist) {
 // when moves are allowed — replaces non-adjacent flow dependences with
 // chains of pinned move operations. It returns the number of operations
 // added to the loop (so the caller can extend the budget).
+//
+// Without moves the three historical passes (violated successors, comm-
+// violated predecessors, non-adjacent neighbours) fuse into one walk per
+// edge list. The fusion is exact: an eviction only clears a placement —
+// it never changes the cluster of an op that stays placed — so every
+// per-edge verdict is the same whenever it is evaluated, evict is
+// idempotent, and the evicted SET is the union of the same conditions.
+// The worklist orders by a total key (height desc, ID asc), so its pop
+// sequence depends only on that set, not on insertion order; the digest
+// and differential tests pin this equivalence.
 func (st *state) settle(id int, wl *worklist) int {
+	if st.ref || st.cfg.AllowMoves {
+		return st.settleSlow(id, wl)
+	}
 	t, c := st.time[id], st.cluster[id]
-	lat := st.loop.Ops[id].Kind.Latency()
+	lat := st.lat[id]
+	comm := st.cfg.CommLatency
+	for _, d := range st.succs.At(id) {
+		ts := st.time[d.To]
+		if ts < 0 {
+			continue
+		}
+		if d.Kind == ir.Flow && st.cluster[d.To] != c {
+			if st.adjMasks[c]>>uint(st.cluster[d.To])&1 == 0 {
+				st.evict(d.To, wl)
+				continue
+			}
+			if ts+st.ii*d.Dist < t+lat+comm {
+				st.evict(d.To, wl)
+			}
+			continue
+		}
+		if ts+st.ii*d.Dist < t+lat {
+			st.evict(d.To, wl)
+		}
+	}
+	for _, d := range st.preds.At(id) {
+		if d.Kind != ir.Flow {
+			continue
+		}
+		tf := st.time[d.From]
+		if tf < 0 || st.cluster[d.From] == c {
+			continue
+		}
+		if st.adjMasks[c]>>uint(st.cluster[d.From])&1 == 0 {
+			st.evict(d.From, wl)
+			continue
+		}
+		if comm > 0 && t+st.ii*d.Dist < tf+st.lat[d.From]+comm {
+			st.evict(d.From, wl)
+		}
+	}
+	return 0
+}
+
+// settleSlow is the reference/three-pass settle, required whenever the run
+// is pinned to the scalar reference or the machine allows move insertion
+// (insertMoveChain rebuilds the adjacency views mid-pass, which the fused
+// walk cannot tolerate).
+func (st *state) settleSlow(id int, wl *worklist) int {
+	t, c := st.time[id], st.cluster[id]
+	lat := st.lat[id]
 	// Dependence-violated successors are evicted (they will be rescheduled
 	// later at a feasible time).
 	for _, d := range st.succs.At(id) {
@@ -472,7 +745,7 @@ func (st *state) settle(id int, wl *worklist) int {
 			if tf < 0 || d.Kind != ir.Flow || st.cluster[d.From] == c {
 				continue
 			}
-			if t+st.ii*d.Dist < tf+st.loop.Ops[d.From].Kind.Latency()+st.cfg.CommLatency {
+			if t+st.ii*d.Dist < tf+st.lat[d.From]+st.cfg.CommLatency {
 				st.evict(d.From, wl)
 			}
 		}
@@ -508,17 +781,37 @@ func (st *state) settle(id int, wl *worklist) int {
 // iteration, with loop-carried edges discounted by II*distance. With
 // II >= RecMII there is no positive cycle, so the fixpoint converges within
 // numOps passes.
+//
+// Heights depend only on the pristine graph and the II, so a portfolio
+// race computes them once per II in the shared raceMemo and every racing
+// strategy copies the result; only an attempt that grew the graph with
+// move operations recomputes privately.
 func (st *state) computeHeights() {
-	n := len(st.loop.Ops)
-	h := refill(st.height, n, 0)
-	for id, op := range st.loop.Ops {
-		h[id] = op.Kind.Latency()
+	if !st.mutated && st.memo != nil {
+		st.height = append(st.height[:0], st.memo.heightsFor(st.ii)...)
+		return
 	}
+	st.height = heightsInto(st.height, st.lat, st.loop.Deps, st.ii, len(st.loop.Ops))
+}
+
+// heightsInto computes the height fixpoint into h (reusing its storage):
+// each op starts at its own latency and relaxes upward along dependences
+// discounted by II*distance. The fixpoint is the unique least solution of
+// the max-path equations, so the result is independent of the order deps
+// are visited in — only the pass count varies. Each pass walks the list
+// BACKWARD: height relaxes h[From] from h[To], and dependence lists are in
+// practice emitted close to topological order (producers before consumers),
+// so the reverse walk sees consumers sinks-first and the acyclic part
+// converges in one pass plus one verification pass instead of one pass per
+// path level. Adversarial orders still converge within the n+1-pass bound.
+func heightsInto(h, lat []int, deps []ir.Dep, ii, n int) []int {
+	h = refill(h, n, 0)
+	copy(h, lat[:n])
 	for iter := 0; iter < n+1; iter++ {
 		changed := false
-		for _, d := range st.loop.Deps {
-			lat := st.loop.Ops[d.From].Kind.Latency()
-			if v := h[d.To] + lat - st.ii*d.Dist; v > h[d.From] {
+		for i := len(deps) - 1; i >= 0; i-- {
+			d := deps[i]
+			if v := h[d.To] + lat[d.From] - ii*d.Dist; v > h[d.From] {
 				h[d.From] = v
 				changed = true
 			}
@@ -527,7 +820,7 @@ func (st *state) computeHeights() {
 			break
 		}
 	}
-	st.height = h
+	return h
 }
 
 // worklist is a max-heap of unscheduled op IDs ordered by height (ties by
@@ -536,36 +829,67 @@ func (st *state) computeHeights() {
 // boxes every pushed ID into an interface — but replicates container/heap's
 // sift algorithms exactly, so the pop order is bit-for-bit the same. Its
 // storage lives in the state arena and is reused across attempts.
+//
+// The comparison key is packed into one word per entry:
+// height<<32 | ^id. Heights are non-negative path lengths (far below
+// 2^31), so a single uint64 compare realises exactly (height desc, ID asc)
+// without the two dependent loads per comparison the indirect form costs.
+// Keys are recomputed wholesale by fix() when the heights change.
 type worklist struct {
-	st  *state
-	ids []int
-	in  []bool
+	st   *state
+	ids  []int
+	keys []uint64 // parallel to ids: height[id]<<32 | ^uint32(id)
+	in   []bool
 }
 
 // reset empties the worklist and sizes the membership array for n ops.
 func (w *worklist) reset(st *state, n int) {
 	w.st = st
 	w.ids = w.ids[:0]
+	w.keys = w.keys[:0]
 	w.in = refill(w.in, n, false)
+}
+
+// fill seeds the worklist with every op ID in one O(n) heapify pass
+// (sequential pushes cost O(n log n)). The internal heap layout differs
+// from a push-built heap, but each pop extracts the unique maximum of a
+// total order, so the pop sequence — the only observable — is identical.
+func (w *worklist) fill(st *state, n int) {
+	w.st = st
+	w.in = refill(w.in, n, true)
+	w.ids = w.ids[:0]
+	w.keys = w.keys[:0]
+	for id := 0; id < n; id++ {
+		w.ids = append(w.ids, id)
+		w.keys = append(w.keys, w.key(id))
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		w.down(i, n)
+	}
 }
 
 func (w *worklist) Len() int { return len(w.ids) }
 
-// less reports whether heap slot i sorts before slot j (a max-heap on
-// height, ties by lower ID).
-func (w *worklist) less(i, j int) bool {
-	hi, hj := w.st.height[w.ids[i]], w.st.height[w.ids[j]]
-	if hi != hj {
-		return hi > hj
-	}
-	return w.ids[i] < w.ids[j]
+func (w *worklist) key(id int) uint64 {
+	return uint64(uint32(w.st.height[id]))<<32 | uint64(^uint32(id))
 }
 
-func (w *worklist) swap(i, j int) { w.ids[i], w.ids[j] = w.ids[j], w.ids[i] }
+// less reports whether heap slot i sorts before slot j (a max-heap on
+// height, ties by lower ID — one packed compare).
+func (w *worklist) less(i, j int) bool { return w.keys[i] > w.keys[j] }
+
+func (w *worklist) swap(i, j int) {
+	w.ids[i], w.ids[j] = w.ids[j], w.ids[i]
+	w.keys[i], w.keys[j] = w.keys[j], w.keys[i]
+}
 
 // fix restores the heap invariant over the whole array (used after the
 // priorities change wholesale when the move extension grows the graph).
+// The packed keys cache the heights, so they are rebuilt first.
 func (w *worklist) fix() {
+	for i, id := range w.ids {
+		w.keys[i] = w.key(id)
+	}
 	n := len(w.ids)
 	for i := n/2 - 1; i >= 0; i-- {
 		w.down(i, n)
@@ -608,6 +932,7 @@ func (w *worklist) push(id int) {
 	}
 	w.in[id] = true
 	w.ids = append(w.ids, id)
+	w.keys = append(w.keys, w.key(id))
 	w.up(len(w.ids) - 1)
 }
 
@@ -617,6 +942,7 @@ func (w *worklist) pop() int {
 	w.down(0, n)
 	id := w.ids[n]
 	w.ids = w.ids[:n]
+	w.keys = w.keys[:n]
 	w.in[id] = false
 	return id
 }

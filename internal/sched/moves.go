@@ -37,6 +37,12 @@ func (st *state) insertMoveChain(d ir.Dep, wl *worklist) int {
 	}
 	st.pathBuf = path
 
+	// About to mutate the op and dependence lists: give the working loop
+	// private storage. Until here they alias the pristine input (and, in a
+	// portfolio race, the CSR views may be shared by every racing
+	// strategy), so mutating in place would corrupt the other attempts.
+	st.detach()
+
 	// Remove the offending dependence (first value match).
 	removed := false
 	for i, e := range st.loop.Deps {
@@ -72,16 +78,20 @@ func (st *state) insertMoveChain(d ir.Dep, wl *worklist) int {
 	st.loop.AddDep(ir.Dep{From: prev, To: d.To, Dist: dist, Kind: ir.Flow})
 
 	// The graph changed shape: rebuild adjacency and priorities, and
-	// restore the heap invariant under the new heights.
-	st.loop.PredsInto(&st.preds)
-	st.loop.SuccsInto(&st.succs)
+	// restore the heap invariant under the new heights. The rebuild goes
+	// into the state's private mutPreds/mutSuccs arenas — never into the
+	// base views, whose storage may be shared with other racing attempts.
+	st.loop.PredsInto(&st.mutPreds)
+	st.loop.SuccsInto(&st.mutSuccs)
+	st.preds = st.mutPreds
+	st.succs = st.mutSuccs
 	st.computeHeights()
 	wl.fix()
 	return added
 }
 
-// growOp extends the per-op state arrays for a newly added operation pinned
-// to the given cluster.
+// growOp extends the per-op state arrays for a newly added move operation
+// pinned to the given cluster (the only kind the scheduler ever adds).
 func (st *state) growOp(pinnedCluster int) {
 	st.time = append(st.time, -1)
 	st.cluster = append(st.cluster, -1)
@@ -89,5 +99,7 @@ func (st *state) growOp(pinnedCluster int) {
 	st.pinned = append(st.pinned, pinnedCluster)
 	st.never = append(st.never, true)
 	st.height = append(st.height, 0)
+	st.lat = append(st.lat, ir.KMove.Latency())
+	st.class = append(st.class, machine.ClassOf(ir.KMove))
 	st.wl.in = append(st.wl.in, false)
 }

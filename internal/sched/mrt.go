@@ -1,15 +1,35 @@
 package sched
 
-import "vliwq/internal/machine"
+import (
+	"math/bits"
+
+	"vliwq/internal/machine"
+)
 
 // mrt is the modulo reservation table: for each of the II rows, each
 // cluster, and each FU class, the IDs of the operations issuing there.
 // Every operation reserves its functional unit for exactly one cycle at its
 // issue time (unit-latency reservation, as in the paper's model).
+//
+// Occupancy is tracked twice, deliberately:
+//
+//   - rows holds the per-slot occupant ID lists. They answer "who is in the
+//     way" (forceSlot's eviction choice) and double as the scalar reference
+//     the differential harness replays probes against.
+//   - full packs, per (cluster, class), one bit per row that is at
+//     capacity. A feasibility probe over the whole II window collapses to a
+//     rotate/mask/trailing-zeros sequence on these words instead of a
+//     per-row walk, which is where the slot search spends its time.
+//
+// The two views are updated together in add/remove; FuzzMRTBitset and the
+// differential tests pin their agreement.
 type mrt struct {
-	ii   int
-	cfg  *machine.Config
-	rows []cell // len ii * numClusters, row-major
+	ii     int
+	cfg    *machine.Config
+	rows   []cell // len ii * numClusters, row-major
+	nwords int    // 64-bit words per (cluster, class) row bitmap
+	mask   uint64 // valid-row bits of the last (or only) bitmap word
+	full   []uint64
 }
 
 type cell [machine.NumClasses][]int
@@ -20,13 +40,14 @@ func newMRT(ii int, cfg *machine.Config) *mrt {
 	return m
 }
 
-// reset reconfigures the table for a new II, reusing the row array and the
-// per-cell reservation slices so repeated attempts do not allocate once the
-// table has reached its high-water size.
+// reset reconfigures the table for a new II, reusing the row array, the
+// per-cell reservation slices and the bitmap words so repeated attempts do
+// not allocate once the table has reached its high-water size.
 func (m *mrt) reset(ii int, cfg *machine.Config) {
 	m.ii = ii
 	m.cfg = cfg
-	need := ii * cfg.NumClusters()
+	nc := cfg.NumClusters()
+	need := ii * nc
 	if cap(m.rows) < need {
 		m.rows = make([]cell, need)
 	} else {
@@ -37,16 +58,92 @@ func (m *mrt) reset(ii int, cfg *machine.Config) {
 			}
 		}
 	}
+	m.nwords = (ii + 63) / 64
+	if rem := ii % 64; rem != 0 {
+		m.mask = 1<<rem - 1
+	} else {
+		m.mask = ^uint64(0)
+	}
+	nfull := nc * int(machine.NumClasses) * m.nwords
+	if cap(m.full) < nfull {
+		m.full = make([]uint64, nfull)
+	} else {
+		m.full = m.full[:nfull]
+		for i := range m.full {
+			m.full[i] = 0
+		}
+	}
+	// A (cluster, class) pair without units can never issue: mark every row
+	// full up front so probes reject it with the same bit test as a
+	// genuinely saturated row.
+	for c := 0; c < nc; c++ {
+		for class := machine.FUClass(0); class < machine.NumClasses; class++ {
+			if cfg.FUCount(c, class) == 0 {
+				w := m.fidx(c, class)
+				for i := 0; i < m.nwords; i++ {
+					m.full[w+i] = ^uint64(0)
+				}
+				m.full[w+m.nwords-1] = m.mask
+			}
+		}
+	}
 }
 
 func (m *mrt) at(row, cluster int) *cell {
 	return &m.rows[row*m.cfg.NumClusters()+cluster]
 }
 
+// fidx returns the first bitmap word of the (cluster, class) pair.
+func (m *mrt) fidx(cluster int, class machine.FUClass) int {
+	return (cluster*int(machine.NumClasses) + int(class)) * m.nwords
+}
+
 // free reports whether an FU of the given class is available in the cluster
-// at the given row.
+// at the given row (one AND of the packed occupancy word).
 func (m *mrt) free(row, cluster int, class machine.FUClass) bool {
+	return m.full[m.fidx(cluster, class)+row>>6]>>(uint(row)&63)&1 == 0
+}
+
+// freeScalar is the scalar reference for free: the occupant-list length
+// check the pre-bitset scheduler used. The differential harness schedules
+// entire corpora through it to pin the packed probes byte-identical.
+func (m *mrt) freeScalar(row, cluster int, class machine.FUClass) bool {
 	return len(m.at(row, cluster)[class]) < m.cfg.FUCount(cluster, class)
+}
+
+// firstFree returns the first cycle t in [from, to) whose row t%II has a
+// free unit of the class in the cluster. The caller guarantees
+// to-from <= II, so each row is visited at most once; on the II <= 64 fast
+// path the whole window collapses to one rotate + mask + trailing-zeros.
+func (m *mrt) firstFree(from, to, cluster int, class machine.FUClass) (int, bool) {
+	if from >= to {
+		return 0, false
+	}
+	w := m.fidx(cluster, class)
+	if m.nwords == 1 {
+		avail := ^m.full[w] & m.mask
+		if avail == 0 {
+			return 0, false
+		}
+		// Rotate the free-row bits so bit d corresponds to cycle from+d,
+		// then clip to the window length.
+		r0 := uint(from % m.ii)
+		g := (avail>>r0 | avail<<(uint(m.ii)-r0)) & m.mask
+		if l := to - from; l < m.ii {
+			g &= 1<<uint(l) - 1
+		}
+		if g == 0 {
+			return 0, false
+		}
+		return from + bits.TrailingZeros64(g), true
+	}
+	for t := from; t < to; t++ {
+		row := t % m.ii
+		if m.full[w+row>>6]>>(uint(row)&63)&1 == 0 {
+			return t, true
+		}
+	}
+	return 0, false
 }
 
 // add reserves one unit; callers must have checked free (or intend to
@@ -54,10 +151,14 @@ func (m *mrt) free(row, cluster int, class machine.FUClass) bool {
 // add panics on oversubscription to catch scheduler bugs early).
 func (m *mrt) add(row, cluster int, class machine.FUClass, opID int) {
 	c := m.at(row, cluster)
-	if len(c[class]) >= m.cfg.FUCount(cluster, class) {
+	n := m.cfg.FUCount(cluster, class)
+	if len(c[class]) >= n {
 		panic("sched: MRT oversubscription")
 	}
 	c[class] = append(c[class], opID)
+	if len(c[class]) == n {
+		m.full[m.fidx(cluster, class)+row>>6] |= 1 << (uint(row) & 63)
+	}
 }
 
 // remove releases the reservation of opID; it panics if absent.
@@ -67,6 +168,7 @@ func (m *mrt) remove(row, cluster int, class machine.FUClass, opID int) {
 	for i, id := range s {
 		if id == opID {
 			c[class] = append(s[:i], s[i+1:]...)
+			m.full[m.fidx(cluster, class)+row>>6] &^= 1 << (uint(row) & 63)
 			return
 		}
 	}

@@ -54,11 +54,13 @@ type attempt struct {
 // runAttempt schedules l at one II under one strategy on a private arena.
 // ordinal is the 1-based position of ii on the candidate ladder; it seeds
 // the budget multiplier so each strategy sees the same budget growth it
-// would in the single-strategy search.
-func runAttempt(l *ir.Loop, cfg machine.Config, budgetRatio int, strat Strategy, ii, ordinal int) attempt {
+// would in the single-strategy search. memo carries the race-wide shared
+// pristine-loop facts (CSR views, per-II heights); the attempt's private
+// arena holds everything placement-dependent.
+func runAttempt(l *ir.Loop, cfg machine.Config, budgetRatio int, strat Strategy, ii, ordinal int, memo *raceMemo, ref bool) attempt {
 	st := statePool.Get().(*state)
 	defer statePool.Put(st)
-	st.init(l, cfg, budgetRatio, strat)
+	st.init(l, cfg, budgetRatio, strat, memo, ref)
 	st.ordinal = ordinal
 	st.stats.Attempts = 1 // this call is exactly one (II, strategy) attempt
 	if !st.tryII(ii) {
@@ -99,14 +101,19 @@ func (o Options) raceWorkers() int {
 // schedulePortfolio walks the candidate-II ladder racing every strategy at
 // each step. See the package comment above for the selection rule and its
 // determinism argument.
-func schedulePortfolio(l *ir.Loop, cfg machine.Config, opts Options, strats []Strategy, resMII, recMII, maxII int) (*Schedule, error) {
+func schedulePortfolio(st *state, l *ir.Loop, cfg machine.Config, opts Options, strats []Strategy, resMII, recMII, maxII int) (*Schedule, error) {
 	mii := resMII
 	if recMII > mii {
 		mii = recMII
 	}
 	ratio := opts.budgetRatio()
 	workers := opts.raceWorkers()
-	iis := candidateIIs(nil, mii, maxII)
+	st.iiBuf = candidateIIs(st.iiBuf, mii, maxII)
+	iis := st.iiBuf
+	// The memo is shared by every racing attempt and released only after
+	// the last race round has completed (pool.Run is a barrier per round).
+	memo := newRaceMemo(l, &cfg)
+	defer memo.release()
 
 	var total Stats
 	results := make([]attempt, len(strats))
@@ -115,29 +122,41 @@ func schedulePortfolio(l *ir.Loop, cfg machine.Config, opts Options, strats []St
 			results[i] = attempt{}
 		}
 		atMII := ii == mii
-		ctx, cancel := context.WithCancel(context.Background())
-		// minWin tracks the lowest strategy index that has scheduled at
-		// MII. Feeding is in index order, so by the time strategy i runs,
-		// every index below i has at least started and will complete;
-		// cancellation can only drop indices that cannot win.
-		minWin := atomic.Int64{}
-		minWin.Store(int64(len(strats)))
-		pool.Run(ctx, len(strats), workers, func(i int) {
-			if atMII && minWin.Load() < int64(i) {
-				return // a strictly better winner already exists
-			}
-			results[i] = runAttempt(l, cfg, ratio, strats[i], ii, ord+1)
-			if atMII && results[i].ok {
-				for {
-					cur := minWin.Load()
-					if int64(i) >= cur || minWin.CompareAndSwap(cur, int64(i)) {
-						break
-					}
+		if workers == 1 {
+			// A single worker runs the strategies in index order anyway, so
+			// the race degenerates to a plain loop — same results, same
+			// MII short-circuit, none of the pool's goroutine/channel cost.
+			for i := range strats {
+				results[i] = runAttempt(l, cfg, ratio, strats[i], ii, ord+1, memo, opts.refImpl)
+				if atMII && results[i].ok {
+					break
 				}
-				cancel()
 			}
-		}, nil)
-		cancel()
+		} else {
+			ctx, cancel := context.WithCancel(context.Background())
+			// minWin tracks the lowest strategy index that has scheduled at
+			// MII. Feeding is in index order, so by the time strategy i runs,
+			// every index below i has at least started and will complete;
+			// cancellation can only drop indices that cannot win.
+			minWin := atomic.Int64{}
+			minWin.Store(int64(len(strats)))
+			pool.Run(ctx, len(strats), workers, func(i int) {
+				if atMII && minWin.Load() < int64(i) {
+					return // a strictly better winner already exists
+				}
+				results[i] = runAttempt(l, cfg, ratio, strats[i], ii, ord+1, memo, opts.refImpl)
+				if atMII && results[i].ok {
+					for {
+						cur := minWin.Load()
+						if int64(i) >= cur || minWin.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					cancel()
+				}
+			}, nil)
+			cancel()
+		}
 
 		win := -1
 		for i := range results {
@@ -183,10 +202,9 @@ func schedulePortfolio(l *ir.Loop, cfg machine.Config, opts Options, strats []St
 	// compact cluster-subset search, which cannot fail on a valid loop.
 	// Compact mode restricts placement to a mutually adjacent subset, so
 	// the preference ordering is irrelevant and the result reports the
-	// baseline strategy.
-	st := statePool.Get().(*state)
-	defer statePool.Put(st)
-	st.init(l, cfg, ratio, StrategyBaseline)
+	// baseline strategy. The race has ended, so the caller's state arena
+	// (and the memo, still valid) is reused for the fallback.
+	st.init(l, cfg, ratio, StrategyBaseline, memo, opts.refImpl)
 	// Seed the attempt counter to the ladder length so the compact
 	// attempts run at the same (capped) budget multiplier they get in
 	// scheduleSingle after its full ladder — otherwise the portfolio's

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"vliwq/internal/ir"
+	"vliwq/internal/machine"
+)
+
+// This file retains the scalar reference implementation of the slot-search
+// core: the pre-bitset findSlot and clusterPrefs, verbatim. It is live
+// code, not an archive — the differential harness (differential_test.go)
+// schedules whole corpora through it via Options and asserts the packed
+// implementation in ims.go matches op-for-op, and machines wider than 64
+// clusters are routed here unconditionally because the packed adjacency
+// masks hold one bit per cluster. Any change to the search semantics must
+// land in both implementations or the harness fails.
+
+// findSlotRef is the scalar reference for findSlot: per-cluster earliest
+// cycles and adjacency verdicts in flat arrays, then a lexicographic scan
+// of (cycle, preference-order cluster) pairs probing the occupant-list
+// lengths. The packed implementation must return exactly this slot.
+func (st *state) findSlotRef(id, estart int) (int, int, bool) {
+	prefs := st.clusterPrefsRef(id)
+	if len(prefs) == 0 {
+		return 0, 0, false
+	}
+	nc := st.cfg.NumClusters()
+	minT := refill(st.minTBuf, nc, 0)
+	adjOK := refill(st.adjBuf, nc, true)
+	st.minTBuf, st.adjBuf = minT, adjOK
+	for _, c := range prefs {
+		req := 0
+		for _, d := range st.preds.At(id) {
+			tf := st.time[d.From]
+			if tf < 0 {
+				continue
+			}
+			lat := st.loop.Ops[d.From].Kind.Latency()
+			if d.Kind == ir.Flow && st.cluster[d.From] != c {
+				lat += st.cfg.CommLatency
+			}
+			if r := tf + lat - st.ii*d.Dist; r > req {
+				req = r
+			}
+		}
+		minT[c] = req
+		ok := true
+		for _, d := range st.preds.At(id) {
+			if d.Kind == ir.Flow && st.time[d.From] >= 0 && !st.cfg.Adjacent(st.cluster[d.From], c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, d := range st.succs.At(id) {
+				if d.Kind == ir.Flow && st.time[d.To] >= 0 && !st.cfg.Adjacent(c, st.cluster[d.To]) {
+					ok = false
+					break
+				}
+			}
+		}
+		adjOK[c] = ok
+	}
+	class := machine.ClassOf(st.loop.Ops[id].Kind)
+	pinned := st.pinned[id]
+	passes := 1
+	if st.cfg.AllowMoves && pinned < 0 {
+		passes = 2
+	}
+	for pass := 0; pass < passes; pass++ {
+		requireAdj := pass == 0
+		for t := estart; t < estart+st.ii; t++ {
+			for _, c := range prefs {
+				if pinned >= 0 && c != pinned {
+					continue
+				}
+				if requireAdj && !adjOK[c] {
+					continue
+				}
+				if t < minT[c] {
+					continue
+				}
+				if st.table.freeScalar(t%st.ii, c, class) {
+					return t, c, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// clusterPrefsRef is the scalar reference for clusterPrefs: it re-walks the
+// op's edge lists once per candidate cluster instead of gathering the
+// per-cluster counters in one pass. Same key vectors, same insertion sort,
+// so the preference order is identical by construction; the differential
+// harness pins it anyway.
+func (st *state) clusterPrefsRef(id int) []int {
+	class := machine.ClassOf(st.loop.Ops[id].Kind)
+	if st.allowed != nil {
+		return st.allowedPrefs(class)
+	}
+	nc := st.cfg.NumClusters()
+	prefs := st.prefBuf[:0]
+	for c := 0; c < nc; c++ {
+		if st.cfg.FUCount(c, class) == 0 {
+			continue
+		}
+		// neigh counts already-scheduled flow neighbours on c; commDist
+		// sums their ring distances to c (the copy/communication cost of
+		// placing the op there). The distance sum is computed only for the
+		// strategy that ranks on it, keeping the baseline walk as cheap as
+		// it has always been.
+		neigh, commDist := 0, 0
+		wantDist := st.strat == StrategyAffinity
+		for _, d := range st.preds.At(id) {
+			if d.Kind == ir.Flow && st.time[d.From] >= 0 {
+				if st.cluster[d.From] == c {
+					neigh++
+				}
+				if wantDist {
+					commDist += st.cfg.RingDistance(st.cluster[d.From], c)
+				}
+			}
+		}
+		for _, d := range st.succs.At(id) {
+			if d.Kind == ir.Flow && st.time[d.To] >= 0 {
+				if st.cluster[d.To] == c {
+					neigh++
+				}
+				if wantDist {
+					commDist += st.cfg.RingDistance(st.cluster[d.To], c)
+				}
+			}
+		}
+		p := clusterPref{c: c}
+		switch st.strat {
+		case StrategyLoadBalanced:
+			p.k1, p.k2 = st.load[c], -neigh
+		case StrategyAffinity:
+			p.k1, p.k2 = commDist, -neigh
+		case StrategyRoundRobin:
+			p.k1 = st.cfg.RingDistance(id%nc, c)
+		case StrategyPerturb:
+			h := prefHash(id, c)
+			p.k1, p.k2, p.k3 = -neigh, st.load[c]+int(h&1), int(h>>1&0xffff)
+		default: // StrategyBaseline
+			p.k1, p.k2 = -neigh, st.load[c]
+		}
+		i := len(prefs)
+		prefs = append(prefs, p)
+		for i > 0 && p.before(prefs[i-1]) {
+			prefs[i] = prefs[i-1]
+			i--
+		}
+		prefs[i] = p
+	}
+	st.prefBuf = prefs
+	out := st.prefOut[:0]
+	for _, p := range prefs {
+		out = append(out, p.c)
+	}
+	st.prefOut = out
+	return out
+}

@@ -121,6 +121,13 @@ type Options struct {
 	// GOMAXPROCS. It affects wall-clock only, never the chosen schedule,
 	// so it must not participate in any cache key.
 	RaceWorkers int
+
+	// refImpl routes every feasibility probe through the scalar reference
+	// implementation (ref.go) instead of the packed bitset one. It exists
+	// for the differential harness, which schedules corpora both ways and
+	// asserts byte identity; it is unexported because the reference is a
+	// test oracle, not a supported mode.
+	refImpl bool
 }
 
 // DefaultBudgetRatio is Rau's recommended scheduling budget multiplier.
@@ -216,7 +223,13 @@ func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, erro
 	if err != nil {
 		return nil, err
 	}
-	recMII := RecMII(l)
+	// The scheduling state is acquired before the lower bounds so RecMII
+	// runs out of the same arena (recScratch) instead of allocating; the
+	// state then serves the single-strategy search or the portfolio's
+	// compact fallback directly.
+	st := statePool.Get().(*state)
+	defer statePool.Put(st)
+	recMII := recMIIInto(l, &st.rec)
 	mii := resMII
 	if recMII > mii {
 		mii = recMII
@@ -224,21 +237,19 @@ func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, erro
 	maxII := opts.maxII(l, mii)
 	strats := opts.strategySet(cfg.NumClusters())
 	if len(strats) > 1 {
-		return schedulePortfolio(l, cfg, opts, strats, resMII, recMII, maxII)
+		return schedulePortfolio(st, l, cfg, opts, strats, resMII, recMII, maxII)
 	}
-	return scheduleSingle(l, cfg, opts, strats[0], resMII, recMII, maxII)
+	return scheduleSingle(st, l, cfg, opts, strats[0], resMII, recMII, maxII)
 }
 
 // scheduleSingle is the historical single-strategy search: the candidate-II
 // ladder under one cluster-preference policy, then the compact fallbacks.
-func scheduleSingle(l *ir.Loop, cfg machine.Config, opts Options, strat Strategy, resMII, recMII, maxII int) (*Schedule, error) {
+func scheduleSingle(st *state, l *ir.Loop, cfg machine.Config, opts Options, strat Strategy, resMII, recMII, maxII int) (*Schedule, error) {
 	mii := resMII
 	if recMII > mii {
 		mii = recMII
 	}
-	st := statePool.Get().(*state)
-	st.init(l, cfg, opts.budgetRatio(), strat)
-	defer statePool.Put(st)
+	st.init(l, cfg, opts.budgetRatio(), strat, nil, opts.refImpl)
 	finish := func(ii int) *Schedule {
 		// The state goes back to the pool, so the schedule takes copies of
 		// the placement arrays. When no move operations were inserted the

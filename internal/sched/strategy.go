@@ -80,6 +80,41 @@ func StrategyNames() []string {
 	return out
 }
 
+// clusterPref orders one cluster candidate by a strategy-specific key
+// vector: smaller k1 first, then k2, then k3, then cluster index. Every
+// strategy is expressed as a key assignment, so one insertion sort serves
+// the whole catalogue; the relation stays total (the index breaks every
+// tie), so the result is the unique sorted order. Both the packed
+// clusterPrefs (ims.go) and the scalar reference (ref.go) rank with these
+// keys, which is what makes their orders identical by construction.
+type clusterPref struct{ c, k1, k2, k3 int }
+
+func (p clusterPref) before(q clusterPref) bool {
+	if p.k1 != q.k1 {
+		return p.k1 < q.k1
+	}
+	if p.k2 != q.k2 {
+		return p.k2 < q.k2
+	}
+	if p.k3 != q.k3 {
+		return p.k3 < q.k3
+	}
+	return p.c < q.c
+}
+
+// prefHash is StrategyPerturb's deterministic jitter source: a splitmix64
+// finalizer over the (op, cluster) pair under a fixed salt. Same op, same
+// cluster, same verdict — across runs, platforms and worker interleavings.
+func prefHash(id, c int) uint64 {
+	h := uint64(id)*0x9e3779b97f4a7c15 ^ uint64(c)*0xbf58476d1ce4e5b9 ^ 0x5eed1998
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
 // Effort selects how much scheduling work a compilation may spend: it
 // decides the strategy portfolio raced per candidate II. The zero value is
 // EffortFast — the single baseline heuristic, bit-for-bit the scheduler's

@@ -17,8 +17,11 @@ import (
 )
 
 // heavyRequest builds a request whose compile reliably outlasts a
-// millisecond budget: a long dependence-chained loop, unrolled, racing the
-// full strategy portfolio on a clustered machine, verify on.
+// millisecond budget before the scheduling stage boundary: a long
+// dependence-chained loop unrolled to 4096 ops, racing the full strategy
+// portfolio on a clustered machine, verify on. The factor is deliberately
+// large — the bitset scheduler is fast enough that smaller unrolls reach
+// the last cancellation checkpoint inside the budget.
 func heavyRequest(t testing.TB) CompileRequest {
 	t.Helper()
 	var b strings.Builder
@@ -31,7 +34,7 @@ func heavyRequest(t testing.TB) CompileRequest {
 		Loop:         b.String(),
 		Machine:      "clustered:4",
 		Unroll:       true,
-		UnrollFactor: 16,
+		UnrollFactor: 64,
 		Effort:       "exhaustive",
 	}
 }
