@@ -38,6 +38,7 @@ var figures = map[string]func(exp.Options) *exp.Table{
 	"ablation-commlat":    exp.AblationCommLatency,
 	"ablation-invariants": exp.AblationInvariants,
 	"portfolio":           exp.Portfolio,
+	"optimal":             exp.Optimal,
 }
 
 func main() {
@@ -48,11 +49,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vliwexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig        = fs.String("fig", "all", "experiment to run: all (the paper's evaluation; excludes portfolio), or one of "+names())
+		fig        = fs.String("fig", "all", "experiment to run: all (the paper's evaluation; excludes portfolio and optimal), or one of "+names())
 		n          = fs.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
 		seed       = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		effort     = fs.String("effort", "fast", "scheduler effort for every experiment: fast, balanced or exhaustive")
+		effort     = fs.String("effort", "fast", "scheduler effort for every experiment: fast, balanced, exhaustive or optimal")
 		stageTimes = fs.Bool("stage-times", false, "after the experiments, print per-stage compile wall-clock totals")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,10 +83,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// install a private one).
 		Pipeline: exp.NewPipeline(),
 	}
-	// Only the portfolio sweep consumes the stressed preset; other figures
-	// must not pay its generation. -n bounds it so smoke runs stay small;
-	// at full size the exp package's memoized corpus.Stressed() is used.
-	if *fig == "portfolio" {
+	// Only the portfolio and optimal sweeps consume the stressed preset;
+	// other figures must not pay its generation. -n bounds it so smoke runs
+	// stay small; at full size the exp package's memoized corpus.Stressed()
+	// is used.
+	if *fig == "portfolio" || *fig == "optimal" {
 		if sp := corpus.StressedParams(); *n < sp.N {
 			sp.N = *n
 			opts.StressedLoops = corpus.Generate(sp)

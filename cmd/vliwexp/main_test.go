@@ -81,7 +81,7 @@ func TestRunStageTimes(t *testing.T) {
 // rejected instead of generating an empty corpus.
 func TestRunBadFlags(t *testing.T) {
 	sortedList := "ablation-commlat, ablation-copyshape, ablation-invariants, ablation-moves, " +
-		"clusterres, copycost, fig3, fig4, fig6, fig8, fig9, portfolio, unrollqueues"
+		"clusterres, copycost, fig3, fig4, fig6, fig8, fig9, optimal, portfolio, unrollqueues"
 	tests := []struct {
 		name      string
 		args      []string

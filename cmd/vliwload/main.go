@@ -245,6 +245,10 @@ func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
 				gst.TotalStructural.Hits, gst.TotalStructural.Coalesced,
 				gst.TotalStructural.Renumbered, gst.TotalStructural.Entries, gst.Coalesced)
 		}
+		if o := gst.TotalOptimal; o.Proved+o.Incumbent > 0 {
+			fmt.Fprintf(stdout, "optimal: proved=%d incumbent=%d pruned_nodes=%d\n",
+				o.Proved, o.Incumbent, o.PrunedNodes)
+		}
 		var total int64
 		for _, b := range gst.Backends {
 			total += b.Served
@@ -275,6 +279,10 @@ func reportStats(client *http.Client, base string, stdout, stderr io.Writer) {
 		fmt.Fprintf(stdout, "structural: hits=%d coalesced=%d renumbered=%d entries=%d\n",
 			st.Structural.Hits, st.Structural.Coalesced,
 			st.Structural.Renumbered, st.Structural.Entries)
+	}
+	if o := st.Optimal; o.Proved+o.Incumbent > 0 {
+		fmt.Fprintf(stdout, "optimal: proved=%d incumbent=%d pruned_nodes=%d\n",
+			o.Proved, o.Incumbent, o.PrunedNodes)
 	}
 	printMachines(stdout, st.Sched.Machines)
 }

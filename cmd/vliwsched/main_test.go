@@ -74,6 +74,21 @@ func TestRunEffortPortfolio(t *testing.T) {
 	}
 }
 
+// TestRunEffortOptimal: -effort optimal answers the "is this schedule
+// optimal?" question in the report — the certificate line carries the
+// proved lower bound. Other efforts must not print it.
+func TestRunEffortOptimal(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-kernel", "daxpy", "-machine", "clustered:4", "-effort", "optimal"},
+		strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "optimal: lower-bound=") {
+		t.Fatalf("missing certificate line:\n%s", stdout.String())
+	}
+}
+
 // TestRunDumpAfter drives the staged pipeline (-dump-after → RunUntil)
 // through every cutoff: the unroll and copies artifacts must come back in
 // the loop text format (re-parseable), the schedule dump must carry the
@@ -151,7 +166,7 @@ func TestRunErrors(t *testing.T) {
 		{"bad machine", []string{"-kernel", "daxpy", "-machine", "mesh:4"}, "", "unknown machine kind"},
 		{"bad machine size", []string{"-kernel", "daxpy", "-machine", "single:zero"}, "", "bad machine size"},
 		{"unparsable stdin", []string{}, "op nope unknownkind", "vliwsched:"},
-		{"bad effort", []string{"-kernel", "daxpy", "-effort", "sluggish"}, "", "unknown effort \"sluggish\" (valid: balanced, exhaustive, fast)"},
+		{"bad effort", []string{"-kernel", "daxpy", "-effort", "sluggish"}, "", "unknown effort \"sluggish\" (valid: balanced, exhaustive, fast, optimal)"},
 		{"unknown flag", []string{"-zap"}, "", "flag provided but not defined"},
 	}
 	for _, tt := range tests {

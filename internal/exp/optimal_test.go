@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vliwq/internal/corpus"
+)
+
+// optimalOpts is a test-sized sweep: small stressed slice, shared pipeline.
+func optimalOpts() Options {
+	sp := corpus.StressedParams()
+	sp.N = 32
+	return Options{
+		StressedLoops: corpus.Generate(sp),
+		Pipeline:      NewPipeline(),
+	}
+}
+
+// TestOptimalShapeAndDeterminism: one row per ring machine, every gapped
+// loop classified exactly once, identical tables across runs.
+func TestOptimalShapeAndDeterminism(t *testing.T) {
+	tab := Optimal(optimalOpts())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("optimal rows = %d, want 2", len(tab.Rows))
+	}
+	atoi := func(s string) int {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		return n
+	}
+	for _, row := range tab.Rows {
+		gapped, proved, improved, unproved := atoi(row[4]), atoi(row[5]), atoi(row[6]), atoi(row[7])
+		if proved+improved+unproved != gapped {
+			t.Fatalf("gap classification does not partition: %v", row)
+		}
+	}
+	again := Optimal(optimalOpts())
+	for i := range tab.Rows {
+		if strings.Join(tab.Rows[i], "|") != strings.Join(again.Rows[i], "|") {
+			t.Fatalf("row %d not deterministic:\n%v\n%v", i, tab.Rows[i], again.Rows[i])
+		}
+	}
+}
+
+// TestOptimalCertifiesOrImprovesGap is the PR's acceptance criterion in
+// miniature: the exhaustive tier must leave gapped loops on the stressed
+// ring machines, and the exact search must prove or improve at least one
+// of them.
+func TestOptimalCertifiesOrImprovesGap(t *testing.T) {
+	tab := Optimal(optimalOpts())
+	gapped, closed := 0, 0
+	for _, row := range tab.Rows {
+		g, _ := strconv.Atoi(row[4])
+		p, _ := strconv.Atoi(row[5])
+		im, _ := strconv.Atoi(row[6])
+		gapped += g
+		closed += p + im
+	}
+	if gapped == 0 {
+		t.Fatal("no gapped loops on the stressed slice; the sweep measures nothing")
+	}
+	if closed == 0 {
+		t.Fatal("no gapped loop was proved optimal or improved")
+	}
+}

@@ -813,7 +813,10 @@ type BackendStats struct {
 	// served by remap, compiles coalesced across renamed spellings, and
 	// renumbered spellings that compiled fresh.
 	Structural service.StructuralStats `json:"structural"`
-	Sched      service.SchedStats      `json:"sched"`
+	// Optimal is the backend's certified-tier outcomes: proofs, unproved
+	// incumbents, and branch-and-bound nodes pruned.
+	Optimal service.OptimalStats `json:"optimal"`
+	Sched   service.SchedStats   `json:"sched"`
 }
 
 // StatsResponse is the JSON body of GET /stats: per-backend detail plus
@@ -840,7 +843,9 @@ type StatsResponse struct {
 	// TotalStructural sums the backends' structural layers; Enabled is true
 	// when any backend has the layer on.
 	TotalStructural service.StructuralStats `json:"total_structural"`
-	TotalSched      service.SchedStats      `json:"total_sched"`
+	// TotalOptimal sums the backends' certified-tier counters.
+	TotalOptimal service.OptimalStats `json:"total_optimal"`
+	TotalSched   service.SchedStats   `json:"total_sched"`
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -891,6 +896,7 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 				bs.Healthy = true
 				bs.Cache = remote.Cache
 				bs.Structural = remote.Structural
+				bs.Optimal = remote.Optimal
 				bs.Sched = remote.Sched
 			}
 			st.Backends[i] = bs
@@ -908,6 +914,9 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 		st.TotalStructural.Coalesced += bs.Structural.Coalesced
 		st.TotalStructural.Renumbered += bs.Structural.Renumbered
 		st.TotalStructural.Entries += bs.Structural.Entries
+		st.TotalOptimal.Proved += bs.Optimal.Proved
+		st.TotalOptimal.Incumbent += bs.Optimal.Incumbent
+		st.TotalOptimal.PrunedNodes += bs.Optimal.PrunedNodes
 		st.TotalSched.Compiles += bs.Sched.Compiles
 		st.TotalSched.Errors += bs.Sched.Errors
 		st.TotalSched.OpsScheduled += bs.Sched.OpsScheduled

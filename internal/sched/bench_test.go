@@ -57,3 +57,21 @@ func BenchmarkSchedulePortfolioExhaustive(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScheduleOptimalSmall prices the certified tier on the
+// hand-written kernels — the population small enough that proofs complete
+// — so the bench trajectory records what a certificate costs on top of the
+// exhaustive race it contains.
+func BenchmarkScheduleOptimalSmall(b *testing.B) {
+	loops := corpus.Kernels()
+	cfg := machine.Clustered(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range loops {
+			if _, err := ScheduleLoop(l, cfg, Options{Effort: EffortOptimal}); err != nil {
+				b.Fatalf("%s: %v", l.Name, err)
+			}
+		}
+	}
+}

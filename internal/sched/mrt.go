@@ -175,6 +175,19 @@ func (m *mrt) remove(row, cluster int, class machine.FUClass, opID int) {
 	panic("sched: MRT remove of absent op")
 }
 
+// anyFree reports whether any row of the (cluster, class) pair still has a
+// free unit — one complement-and-mask pass over the packed row-full words.
+// The exact search's occupancy lookahead (exact.go) is built on it.
+func (m *mrt) anyFree(cluster int, class machine.FUClass) bool {
+	w := m.fidx(cluster, class)
+	for i := 0; i < m.nwords-1; i++ {
+		if ^m.full[w+i] != 0 {
+			return true
+		}
+	}
+	return ^m.full[w+m.nwords-1]&m.mask != 0
+}
+
 // occupants returns the ops occupying (row, cluster, class).
 func (m *mrt) occupants(row, cluster int, class machine.FUClass) []int {
 	return m.at(row, cluster)[class]

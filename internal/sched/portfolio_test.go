@@ -32,7 +32,7 @@ func TestStrategyAndEffortNames(t *testing.T) {
 		t.Fatalf("empty effort = %v, %v; want fast", e, err)
 	}
 	if _, err := ParseEffort("extreme"); err == nil ||
-		!strings.Contains(err.Error(), "balanced, exhaustive, fast") {
+		!strings.Contains(err.Error(), "balanced, exhaustive, fast, optimal") {
 		t.Fatalf("ParseEffort error not sorted: %v", err)
 	}
 	if s := Strategy(200).String(); !strings.Contains(s, "200") {

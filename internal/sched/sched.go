@@ -17,6 +17,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,6 +50,12 @@ type Schedule struct {
 	// equivalent); a portfolio race that ends in the compact fallback
 	// reports baseline.
 	Strategy Strategy
+
+	// Bound is the optimality certificate of the schedule. Only
+	// Options.Effort: optimal sets it (Lower >= 1); for every other tier
+	// it stays the zero value, keeping historical outputs byte-identical.
+	// See bound.go for the contract.
+	Bound Bound
 
 	Stats Stats
 }
@@ -97,6 +104,11 @@ type Stats struct {
 	// single-strategy path), which is how downstream reporting knows not
 	// to print portfolio detail for historical outputs.
 	StrategiesTried int
+
+	// PrunedNodes is the number of candidate placements the exact search
+	// rejected by a pruning rule (Effort: optimal only; zero elsewhere).
+	// The service aggregates it fleet-wide as optimal.pruned_nodes.
+	PrunedNodes int64
 }
 
 // Options control the scheduler's effort.
@@ -213,6 +225,16 @@ func (o Options) strategySet(numClusters int) []Strategy {
 // the paper's partitioned IMS — as a single heuristic at EffortFast, or as
 // a strategy portfolio raced per candidate II at the higher effort levels.
 func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, error) {
+	return ScheduleLoopContext(context.Background(), l, cfg, opts)
+}
+
+// ScheduleLoopContext is ScheduleLoop with a context. Only the optimal
+// tier's proof search observes the context: a deadline or cancellation cuts
+// the exact branch-and-bound ladder, which then returns the best incumbent
+// with Bound.Optimal=false and Bound.DeadlineCut=true (the anytime
+// contract, DESIGN.md §14). Every other effort level ignores ctx, so the
+// heuristic tiers stay deterministic under any deadline.
+func ScheduleLoopContext(ctx context.Context, l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -236,6 +258,9 @@ func ScheduleLoop(l *ir.Loop, cfg machine.Config, opts Options) (*Schedule, erro
 	}
 	maxII := opts.maxII(l, mii)
 	strats := opts.strategySet(cfg.NumClusters())
+	if opts.Effort == EffortOptimal {
+		return scheduleOptimal(ctx, st, l, cfg, opts, strats, resMII, recMII, maxII)
+	}
 	if len(strats) > 1 {
 		return schedulePortfolio(st, l, cfg, opts, strats, resMII, recMII, maxII)
 	}

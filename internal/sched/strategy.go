@@ -129,6 +129,11 @@ const (
 	EffortBalanced
 	// EffortExhaustive races every strategy in the catalogue.
 	EffortExhaustive
+	// EffortOptimal runs the exhaustive race for an incumbent, then the
+	// exact branch-and-bound searcher (exact.go) to certify or improve it.
+	// The result carries an optimality certificate in Schedule.Bound; see
+	// DESIGN.md §14 for the anytime/cancellation contract.
+	EffortOptimal
 	numEfforts
 )
 
@@ -136,6 +141,7 @@ var effortNames = [numEfforts]string{
 	EffortFast:       "fast",
 	EffortBalanced:   "balanced",
 	EffortExhaustive: "exhaustive",
+	EffortOptimal:    "optimal",
 }
 
 func (e Effort) String() string {
@@ -174,7 +180,10 @@ func (e Effort) Strategies() []Strategy {
 	switch e {
 	case EffortBalanced:
 		return []Strategy{StrategyBaseline, StrategyLoadBalanced, StrategyAffinity}
-	case EffortExhaustive:
+	case EffortExhaustive, EffortOptimal:
+		// The optimal tier's heuristic incumbent comes from the same full
+		// catalogue the exhaustive tier races; the exact search then
+		// certifies or improves it.
 		return []Strategy{StrategyBaseline, StrategyLoadBalanced, StrategyAffinity, StrategyRoundRobin, StrategyPerturb}
 	}
 	return []Strategy{StrategyBaseline}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -113,6 +114,128 @@ func TestEffortCompile(t *testing.T) {
 	}
 	if wins != int64(len(loops)) {
 		t.Fatalf("strategy wins %v sum to %d, want %d", st.Sched.StrategyWins, wins, len(loops))
+	}
+}
+
+// TestOptimalCompile drives the certified tier end to end: every optimal
+// response must carry a self-consistent bound object, and /stats must
+// split the outcomes into optimal.proved / optimal.incumbent with the
+// pruned-node tally the fleet aggregates.
+func TestOptimalCompile(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	p := corpus.StressedParams()
+	p.N = 8
+	loops := corpus.Generate(p)
+	for _, l := range loops {
+		req := CompileRequest{
+			Loop:       vliwq.FormatLoop(l),
+			Machine:    "clustered:4",
+			Effort:     "optimal",
+			SkipVerify: true,
+		}
+		resp, body := postJSON(t, client, ts.URL+"/compile", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", l.Name, resp.StatusCode, body)
+		}
+		var cr CompileResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Effort != "optimal" {
+			t.Fatalf("%s: effort %q", l.Name, cr.Effort)
+		}
+		if cr.Bound == nil {
+			t.Fatalf("%s: optimal response carries no bound", l.Name)
+		}
+		if cr.Bound.Lower < 1 || cr.Bound.Lower > cr.II {
+			t.Fatalf("%s: bound.lower %d outside [1, II=%d]", l.Name, cr.Bound.Lower, cr.II)
+		}
+		if cr.Bound.Optimal && cr.II != cr.Bound.Lower {
+			t.Fatalf("%s: proved optimal but II %d != lower %d", l.Name, cr.II, cr.Bound.Lower)
+		}
+		if cr.Bound.DeadlineCut {
+			t.Fatalf("%s: deadline cut without a deadline", l.Name)
+		}
+	}
+	st := srv.Stats()
+	if st.Optimal.Proved+st.Optimal.Incumbent != int64(len(loops)) {
+		t.Fatalf("optimal stats proved=%d incumbent=%d, want sum %d",
+			st.Optimal.Proved, st.Optimal.Incumbent, len(loops))
+	}
+	if st.Optimal.Proved == 0 {
+		t.Fatal("no loop proved optimal on the stressed slice")
+	}
+}
+
+// TestOptimalDeadlineCutServedNotCached is the anytime contract at the
+// service layer: an expired deadline on an optimal request cuts the proof,
+// never the compile — the response is a success (no 504) carrying the
+// unproved, deadline-cut certificate — and because that certificate depends
+// on the caller's wall clock, the outcome is served but forgotten, so the
+// next requester re-proves at full depth and caches normally.
+func TestOptimalDeadlineCutServedNotCached(t *testing.T) {
+	srv := New(Config{})
+
+	// Find a loop whose exhaustive schedule leaves an II gap (clustered:6
+	// with inter-cluster latency): the population where a cut proof is
+	// observably unproved.
+	p := corpus.StressedParams()
+	p.N = 48
+	var req CompileRequest
+	found := false
+	for _, l := range corpus.Generate(p) {
+		r := CompileRequest{
+			Loop: vliwq.FormatLoop(l), Machine: "clustered:6",
+			CommLatency: 2, Effort: "exhaustive", SkipVerify: true,
+		}
+		resp, err := srv.compileOne(context.Background(), &r)
+		if err != nil {
+			continue
+		}
+		if resp.II > resp.MII {
+			req = r
+			req.Effort = "optimal"
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no exhaustive-gapped loop in the stressed slice")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resp, err := srv.compileOne(ctx, &req)
+	if err != nil {
+		t.Fatalf("expired deadline failed the compile instead of cutting the proof: %v", err)
+	}
+	if resp.Bound == nil || resp.Bound.Optimal || !resp.Bound.DeadlineCut {
+		t.Fatalf("cut response bound = %+v, want unproved deadline-cut", resp.Bound)
+	}
+
+	n := req
+	if err := n.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.cache.Get(n.Canonical()); ok {
+		t.Fatal("deadline-cut outcome stayed in the exact cache")
+	}
+
+	// Undeadlined retry: proves (or budget-cuts) deterministically and
+	// caches.
+	resp2, err := srv.compileOne(context.Background(), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Bound == nil || resp2.Bound.DeadlineCut {
+		t.Fatalf("retry bound = %+v, want a deterministic certificate", resp2.Bound)
+	}
+	if _, ok := srv.cache.Get(n.Canonical()); !ok {
+		t.Fatal("deterministic optimal outcome did not cache")
 	}
 }
 

@@ -49,7 +49,7 @@ func heavyRequest(t testing.TB) CompileRequest {
 // the same cache entry sees a plain fast response.
 func TestDegradedResponseCachesUnderDegradedKey(t *testing.T) {
 	srv := New(Config{})
-	srv.level.Store(2) // force the ladder floor: every effort degrades to fast
+	srv.level.Store(3) // force the ladder floor: every effort degrades to fast
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -130,7 +130,7 @@ func TestDegradationLadderHysteresis(t *testing.T) {
 	const target = 10 * time.Millisecond
 	srv := New(Config{SLOTarget: target})
 
-	for i, want := range []int32{1, 2, 2} {
+	for i, want := range []int32{1, 2, 3, 3} {
 		srv.observeLatency(2 * target)
 		if lvl := srv.level.Load(); lvl != want {
 			t.Fatalf("after slow observation %d: level %d, want %d", i+1, lvl, want)
@@ -144,7 +144,7 @@ func TestDegradationLadderHysteresis(t *testing.T) {
 		avg := time.Duration(srv.latEWMA.Value())
 		if avg > target/2 {
 			sawBand = true
-			if srv.level.Load() != 2 {
+			if srv.level.Load() != 3 {
 				t.Fatalf("level dropped to %d while ewma %v still above %v", srv.level.Load(), avg, target/2)
 			}
 		}

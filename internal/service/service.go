@@ -101,8 +101,8 @@ type Config struct {
 	// SLOTarget is the compile-latency budget driving the degradation
 	// ladder: when the EWMA of recent compile latencies exceeds it, the
 	// server downgrades requested effort one step at a time
-	// (exhaustive → balanced → fast), and recovers a step once the EWMA
-	// falls below half the target. 0 disables degradation.
+	// (optimal → exhaustive → balanced → fast), and recovers a step once
+	// the EWMA falls below half the target. 0 disables degradation.
 	SLOTarget time.Duration
 	// DisableStructural turns off the structural (isomorphism-class) cache
 	// layer: every exact-cache miss runs the pipeline, as before PR 7. The
@@ -140,6 +140,11 @@ type CompileResponse struct {
 	Report     string  `json:"report"`
 	Kernel     string  `json:"kernel"`
 
+	// Bound is the optimality certificate, present only on effort:optimal
+	// responses (other tiers omit the field entirely, keeping their JSON
+	// byte-identical to pre-optimal responses).
+	Bound *BoundInfo `json:"bound,omitempty"`
+
 	// Degraded marks a response compiled at less effort than the request
 	// asked for because the SLO ladder was active; Effort reports the
 	// effort actually spent and RequestedEffort what the client asked for.
@@ -149,6 +154,16 @@ type CompileResponse struct {
 	// subsides.
 	Degraded        bool   `json:"degraded,omitempty"`
 	RequestedEffort string `json:"requested_effort,omitempty"`
+}
+
+// BoundInfo is the wire form of vliwq.Bound: the proved lower bound on II
+// and whether the achieved II was proved equal to it. deadline_cut marks a
+// certificate cut by the request's deadline rather than the deterministic
+// node budget; such responses are served but never cached (see compileOne).
+type BoundInfo struct {
+	Lower       int  `json:"lower"`
+	Optimal     bool `json:"optimal"`
+	DeadlineCut bool `json:"deadline_cut,omitempty"`
 }
 
 // BatchRequest is the JSON body of POST /batch.
@@ -207,7 +222,7 @@ type AdmissionStats struct {
 
 // SLOStats reports the degradation ladder: the latency budget, the current
 // compile-latency EWMA, the active degradation level (0 = full effort,
-// 2 = everything runs fast), and how many requests were answered degraded.
+// 3 = everything runs fast), and how many requests were answered degraded.
 type SLOStats struct {
 	TargetMillis float64 `json:"target_ms"` // 0 = ladder disabled
 	EWMAMillis   float64 `json:"ewma_ms"`
@@ -237,6 +252,16 @@ type StructuralStats struct {
 	Entries int64 `json:"entries"`
 }
 
+// OptimalStats aggregates the certified tier's outcomes across every
+// compile that carried a certificate: how many were proved optimal, how
+// many came back as unproved incumbents (budget or deadline cut), and the
+// total branch-and-bound nodes pruned. The gateway sums these fleet-wide.
+type OptimalStats struct {
+	Proved      int64 `json:"proved"`
+	Incumbent   int64 `json:"incumbent"`
+	PrunedNodes int64 `json:"pruned_nodes"`
+}
+
 // StatsResponse is the JSON body of GET /stats.
 type StatsResponse struct {
 	UptimeSeconds   float64 `json:"uptime_seconds"`
@@ -253,6 +278,7 @@ type StatsResponse struct {
 	CacheEnabled     bool            `json:"cache_enabled"`
 	Cache            cache.Stats     `json:"cache"`
 	Structural       StructuralStats `json:"structural"`
+	Optimal          OptimalStats    `json:"optimal"`
 	Sched            SchedStats      `json:"sched"`
 }
 
@@ -261,11 +287,15 @@ type StatsResponse struct {
 // successes). ctxErr marks context cancellation — the one error class that
 // is NOT deterministic (it belongs to the requester's deadline, not the
 // request), so compileOne forgets such entries instead of serving them to
-// future callers.
+// future callers. deadlineCut is the success-path analogue: an optimal-tier
+// response whose certificate was cut by the caller's deadline is served but
+// forgotten, because the proof depth it records is wall-clock dependent
+// (budget cuts, by contrast, are deterministic and cache normally).
 type outcome struct {
-	resp   *CompileResponse
-	err    string
-	ctxErr bool
+	resp        *CompileResponse
+	err         string
+	ctxErr      bool
+	deadlineCut bool
 }
 
 // structEntry is the structural cache's unit: one isomorphism class's
@@ -306,7 +336,7 @@ type Server struct {
 	shed     atomic.Int64
 
 	// Degradation ladder: latEWMA tracks compile latency, level is how many
-	// effort steps the server currently shaves off requests (0..2).
+	// effort steps the server currently shaves off requests (0..3).
 	latEWMA  *metrics.EWMA
 	level    atomic.Int32
 	degraded atomic.Int64
@@ -318,6 +348,11 @@ type Server struct {
 	structHits       atomic.Int64
 	structCoalesced  atomic.Int64
 	structRenumbered atomic.Int64
+
+	// Certified-tier counters (see OptimalStats).
+	optimalProved    atomic.Int64
+	optimalIncumbent atomic.Int64
+	optimalPruned    atomic.Int64
 
 	compiles      atomic.Int64
 	compileErrors atomic.Int64
@@ -410,6 +445,14 @@ func (s *Server) runPipeline(ctx context.Context, req CompileRequest) (*vliwq.Re
 	s.observeLatency(time.Since(t0))
 	s.opsScheduled.Add(int64(len(res.Sched.Loop.Ops)))
 	s.iiSum.Add(int64(res.II))
+	if res.Bound.Lower > 0 {
+		if res.Bound.Optimal {
+			s.optimalProved.Add(1)
+		} else {
+			s.optimalIncumbent.Add(1)
+		}
+		s.optimalPruned.Add(res.Sched.Stats.PrunedNodes)
+	}
 	s.strategyWins[res.Sched.Strategy].Add(1)
 	for _, st := range res.Stages {
 		s.stageNanos[st.Stage].Add(st.Duration.Nanoseconds())
@@ -425,7 +468,7 @@ func (s *Server) runPipeline(ctx context.Context, req CompileRequest) (*vliwq.Re
 // fresh compile of the same spelling, so render never needs to know which
 // path produced its input.
 func (s *Server) render(res *vliwq.Result, effort string) *CompileResponse {
-	return &CompileResponse{
+	resp := &CompileResponse{
 		Loop:       res.Input.Name,
 		Machine:    res.Sched.Machine.Name,
 		Unrolled:   res.Unrolled,
@@ -441,6 +484,14 @@ func (s *Server) render(res *vliwq.Result, effort string) *CompileResponse {
 		Report:     res.Report(),
 		Kernel:     res.KernelSchedule(),
 	}
+	if res.Bound.Lower > 0 {
+		resp.Bound = &BoundInfo{
+			Lower:       res.Bound.Lower,
+			Optimal:     res.Bound.Optimal,
+			DeadlineCut: res.Bound.DeadlineCut,
+		}
+	}
+	return resp
 }
 
 // compute runs the pipeline for one normalized request and renders the
@@ -451,7 +502,7 @@ func (s *Server) compute(ctx context.Context, req CompileRequest) outcome {
 	if errStr != "" {
 		return outcome{err: errStr, ctxErr: ctxErr}
 	}
-	return outcome{resp: s.render(res, req.Effort)}
+	return outcome{resp: s.render(res, req.Effort), deadlineCut: res.Bound.DeadlineCut}
 }
 
 // compileClass runs the pipeline for the first spelling of an isomorphism
@@ -508,10 +559,18 @@ func (s *Server) computeRouted(ctx context.Context, req CompileRequest) outcome 
 		// a fresh compile, exactly like a success response.
 		return s.compute(ctx, req)
 	}
+	cut := ent.res.Bound.DeadlineCut
+	if cut {
+		// A deadline-cut certificate records how far the caller's wall
+		// clock let the proof run — not a property of the class. Forget
+		// the entry so the next spelling proves from scratch (idempotent
+		// when creator and joiners race here).
+		s.structs.Forget(skey)
+	}
 	if info.Created {
 		// This call ran the compile; its Result already carries the
 		// caller's names.
-		return outcome{resp: s.render(ent.res, req.Effort)}
+		return outcome{resp: s.render(ent.res, req.Effort), deadlineCut: cut}
 	}
 	if ir.Skeleton(loop) != ent.skel {
 		s.structRenumbered.Add(1)
@@ -527,12 +586,15 @@ func (s *Server) computeRouted(ctx context.Context, req CompileRequest) outcome 
 	if info.Joined {
 		s.structCoalesced.Add(1)
 	}
-	return outcome{resp: s.render(remapped, req.Effort)}
+	return outcome{resp: s.render(remapped, req.Effort), deadlineCut: cut}
 }
 
-// maxDegradeLevel is the ladder's floor: two steps take exhaustive all the
-// way to fast, and no request can degrade below fast.
-const maxDegradeLevel = int32(2)
+// maxDegradeLevel is the ladder's floor: three steps take optimal all the
+// way to fast, and no request can degrade below fast. The certified tier
+// sits at the top of the ladder — under pressure the first thing the server
+// sheds is the optimality proof, which costs the most and changes the
+// schedule the least.
+const maxDegradeLevel = int32(3)
 
 // observeLatency feeds one successful compile's wall clock into the EWMA
 // and moves the degradation ladder: over the target, degrade one step;
@@ -632,7 +694,9 @@ func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileR
 		oc = s.cache.Do(key, func() outcome {
 			return s.computeRouted(ctx, r)
 		})
-		if oc.ctxErr {
+		if oc.ctxErr || oc.deadlineCut {
+			// Context errors and deadline-cut certificates are both
+			// artifacts of this caller's wall clock, not of the request.
 			s.cache.Forget(key)
 		}
 	} else {
@@ -868,6 +932,11 @@ func (s *Server) Stats() StatsResponse {
 		Hits:       s.structHits.Load(),
 		Coalesced:  s.structCoalesced.Load(),
 		Renumbered: s.structRenumbered.Load(),
+	}
+	st.Optimal = OptimalStats{
+		Proved:      s.optimalProved.Load(),
+		Incumbent:   s.optimalIncumbent.Load(),
+		PrunedNodes: s.optimalPruned.Load(),
 	}
 	if s.structs != nil {
 		st.Structural.Entries = s.structs.Stats().Entries

@@ -334,7 +334,7 @@ func TestRequestErrors(t *testing.T) {
 		{"negative commlat", http.MethodPost, "/compile", `{"loop":"loop x\ntrip 4\nop a load","comm_latency":-1}`, http.StatusBadRequest, "comm_latency"},
 		{"huge machine", http.MethodPost, "/compile", `{"loop":"loop x\ntrip 4\nop a load","machine":"clustered:500000000"}`, http.StatusBadRequest, "exceeds"},
 		{"huge unroll factor", http.MethodPost, "/compile", `{"loop":"loop x\ntrip 4\nop a load","unroll_factor":100000000}`, http.StatusBadRequest, "unroll_factor"},
-		{"unknown effort", http.MethodPost, "/compile", `{"loop":"loop x\ntrip 4\nop a load","effort":"sluggish"}`, http.StatusBadRequest, `unknown effort "sluggish" (valid: balanced, exhaustive, fast)`},
+		{"unknown effort", http.MethodPost, "/compile", `{"loop":"loop x\ntrip 4\nop a load","effort":"sluggish"}`, http.StatusBadRequest, `unknown effort "sluggish" (valid: balanced, exhaustive, fast, optimal)`},
 		{"unparsable loop", http.MethodPost, "/compile", `{"loop":"op without header"}`, http.StatusUnprocessableEntity, "ir:"},
 		{"batch too large", http.MethodPost, "/batch",
 			fmt.Sprintf(`{"requests":[{"loop":%q},{"loop":%q},{"loop":%q}]}`, valid, valid, valid),

@@ -47,8 +47,9 @@ type Request struct {
 	CommLatency int `json:"comm_latency,omitempty"`
 	// SkipVerify skips the simulator-based verification stage.
 	SkipVerify bool `json:"skip_verify,omitempty"`
-	// Effort selects the scheduler's portfolio breadth: "fast" (default),
-	// "balanced" or "exhaustive".
+	// Effort selects the scheduler's tier: "fast" (default), "balanced",
+	// "exhaustive", or "optimal" (exhaustive plus a branch-and-bound
+	// optimality certificate in the response's bound field).
 	Effort string `json:"effort,omitempty"`
 }
 

@@ -107,8 +107,10 @@ func ReadLoop(r io.Reader) (*Loop, error) { return ir.Parse(r) }
 
 // Effort selects the scheduler's search breadth: how many partition
 // strategies the portfolio scheduler races per candidate II (see
-// internal/sched). The zero value, EffortFast, is the single baseline
-// heuristic — bit-for-bit the historical scheduler.
+// internal/sched), and — at EffortOptimal — whether the exact
+// branch-and-bound backend certifies the result. The zero value,
+// EffortFast, is the single baseline heuristic — bit-for-bit the
+// historical scheduler.
 type Effort = sched.Effort
 
 // Effort levels, re-exported for callers configuring Options.Sched.
@@ -116,11 +118,17 @@ const (
 	EffortFast       = sched.EffortFast
 	EffortBalanced   = sched.EffortBalanced
 	EffortExhaustive = sched.EffortExhaustive
+	EffortOptimal    = sched.EffortOptimal
 )
 
-// ParseEffort maps an effort name ("fast", "balanced", "exhaustive"; ""
-// means fast) to its value. The error lists the valid names sorted — the
-// service and the cmds surface it verbatim.
+// Bound is the optimality certificate an EffortOptimal compilation carries
+// in Result.Bound: the proved lower bound on II and whether the achieved
+// II was proved equal to it. See DESIGN.md §14 for the contract.
+type Bound = sched.Bound
+
+// ParseEffort maps an effort name ("fast", "balanced", "exhaustive",
+// "optimal"; "" means fast) to its value. The error lists the valid names
+// sorted — the service and the cmds surface it verbatim.
 func ParseEffort(name string) (Effort, error) { return sched.ParseEffort(name) }
 
 // EffortNames returns every effort name, sorted.
@@ -189,6 +197,12 @@ type Result struct {
 	// portfolio wins are observable wherever results flow — reports, the
 	// service's responses and /stats, the experiment sweeps.
 	Strategy string
+
+	// Bound is the optimality certificate (EffortOptimal only; the zero
+	// value — Lower == 0 — everywhere else, keeping historical outputs
+	// byte-identical). Bound.Optimal=true is a proof that no schedule with
+	// a smaller II exists for this loop on this machine.
+	Bound Bound
 }
 
 // Compile runs the full pipeline on one loop: (optional) unrolling, copy
@@ -221,11 +235,20 @@ func CompileContext(ctx context.Context, l *Loop, opts Options) (*Result, error)
 // checked on entry and at every stage boundary from scheduling on
 // (schedule, alloc, verify) — the boundaries where a propagated request
 // deadline cancels abandoned work.
+//
+// EffortOptimal inverts that contract: the deadline bounds the optimality
+// proof, never the compilation. The scheduler's anytime ladder observes ctx
+// itself and returns its best incumbent with Bound.DeadlineCut set, and the
+// pipeline's own boundary checks are skipped so even an already-expired
+// context yields a complete (and still verified) result rather than an
+// error — the serving layer turns that into a 200 with bound.optimal=false
+// instead of a timeout.
 func compileStaged(ctx context.Context, l *Loop, opts Options, until Stage) (*Result, error) {
 	if l == nil {
 		return nil, fmt.Errorf("vliwq: nil loop")
 	}
-	if err := ctx.Err(); err != nil {
+	anytime := opts.Sched.Effort == sched.EffortOptimal
+	if err := ctx.Err(); err != nil && !anytime {
 		return nil, err
 	}
 	cfg := opts.Machine
@@ -273,12 +296,12 @@ func compileStaged(ctx context.Context, l *Loop, opts Options, until Stage) (*Re
 	if until <= StageCopies {
 		return res, nil
 	}
-	if err := ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil && !anytime {
 		return nil, err
 	}
 
 	t0 = time.Now()
-	s, err := sched.ScheduleLoop(ins.Loop, cfg, opts.Sched)
+	s, err := sched.ScheduleLoopContext(ctx, ins.Loop, cfg, opts.Sched)
 	if err != nil {
 		return nil, err
 	}
@@ -290,12 +313,13 @@ func compileStaged(ctx context.Context, l *Loop, opts Options, until Stage) (*Re
 	res.MII = s.MII()
 	res.StageCount = s.StageCount()
 	res.Strategy = s.Strategy.String()
+	res.Bound = s.Bound
 	stamp(StageSchedule, t0)
 	if until <= StageSchedule {
 		return res, nil
 	}
 
-	if err := ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil && !anytime {
 		return nil, err
 	}
 	t0 = time.Now()
@@ -318,7 +342,7 @@ func compileStaged(ctx context.Context, l *Loop, opts Options, until Stage) (*Re
 		return res, nil
 	}
 
-	if err := ctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil && !anytime {
 		return nil, err
 	}
 	if !opts.SkipVerify {
@@ -386,6 +410,18 @@ func (r *Result) Report() string {
 		// byte-identical to the historical reports (and their goldens).
 		fmt.Fprintf(&b, "  portfolio: %d strategies raced, %s won\n",
 			s.Stats.StrategiesTried, s.Strategy)
+	}
+	if r.Bound.Lower > 0 {
+		// Only the optimal tier carries a certificate; other tiers' reports
+		// stay byte-identical.
+		status := "unproved"
+		if r.Bound.Optimal {
+			status = "proved"
+		} else if r.Bound.DeadlineCut {
+			status = "deadline-cut"
+		}
+		fmt.Fprintf(&b, "  optimal: lower-bound=%d %s (pruned %d nodes)\n",
+			r.Bound.Lower, status, s.Stats.PrunedNodes)
 	}
 	fmt.Fprintf(&b, "  IPC static=%.2f dynamic=%.2f\n", r.IPCStatic, r.IPCDynamic)
 	fmt.Fprintf(&b, "  queues: private<=%d per cluster, ring<=%d per link, max depth %d\n",

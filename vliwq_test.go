@@ -228,3 +228,63 @@ func TestCompileContextCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestOptimalEffortCancellation: at Effort optimal the deadline bounds the
+// proof, never the compilation. An already-expired context still produces a
+// complete result — simulator-verified, since the verify stage runs — with
+// the certificate flagged unproved and deadline-cut. This is the end-to-end
+// half of internal/sched's TestOptimalCancellation.
+func TestOptimalEffortCancellation(t *testing.T) {
+	// Copy insertion raises ResMII enough that zero-latency rings leave no
+	// II gap on this corpus; inter-cluster latency restores the population
+	// the optimal tier exists for.
+	cfg := vliwq.Clustered(6)
+	cfg.CommLatency = 2
+	p := corpus.StressedParams()
+	p.N = 48
+	exOpts := vliwq.Options{Machine: cfg, SkipVerify: true}
+	exOpts.Sched.Effort = vliwq.EffortExhaustive
+	var loop *vliwq.Loop
+	for _, l := range corpus.Generate(p) {
+		res, err := vliwq.Compile(l, exOpts)
+		if err != nil {
+			continue
+		}
+		if res.II > res.MII {
+			loop = l
+			break
+		}
+	}
+	if loop == nil {
+		t.Fatal("no exhaustive-gapped loop in the stressed slice")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := vliwq.Options{Machine: cfg}
+	opts.Sched.Effort = vliwq.EffortOptimal
+	res, err := vliwq.CompileContext(ctx, loop, opts)
+	if err != nil {
+		t.Fatalf("cancelled optimal compile failed: %v", err)
+	}
+	if res.Bound.Optimal {
+		t.Fatalf("cancelled proof claims optimality: %+v", res.Bound)
+	}
+	if !res.Bound.DeadlineCut {
+		t.Fatalf("cancelled proof not flagged deadline-cut: %+v", res.Bound)
+	}
+	if res.Bound.Lower != res.MII {
+		t.Fatalf("cancelled proof raised the bound: Lower=%d, MII=%d", res.Bound.Lower, res.MII)
+	}
+	verified := false
+	for _, st := range res.Stages {
+		if st.Stage == vliwq.StageVerify {
+			verified = true
+		}
+	}
+	if !verified {
+		t.Fatal("verify stage did not run on the cancelled-proof incumbent")
+	}
+	if !strings.Contains(res.Report(), "optimal: lower-bound=") {
+		t.Fatalf("report missing the certificate line:\n%s", res.Report())
+	}
+}
