@@ -7,6 +7,7 @@
 package vliwq_test
 
 import (
+	"context"
 	"io"
 	"strconv"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"vliwq/internal/corpus"
 	"vliwq/internal/exp"
 	"vliwq/internal/ir"
+	"vliwq/internal/program"
 )
 
 // benchCorpus is the per-iteration workload: big enough for stable
@@ -187,4 +189,26 @@ func BenchmarkAblationCommLatency(b *testing.B) {
 	}
 	b.ReportMetric(cell(b, last, 1, 1), "%sameII/lat1")
 	b.ReportMetric(cell(b, last, 2, 1), "%sameII/lat2")
+}
+
+// BenchmarkProgramSchedule schedules the kernelmix traced program end to
+// end — frontend-lifted regions, trivial/hard classification, fast and
+// certified tiers, merge + verify — with a fresh compiler session per
+// iteration so no cross-iteration caching hides the per-region work.
+func BenchmarkProgramSchedule(b *testing.B) {
+	p := corpus.TracedPrograms()[0]
+	b.ReportAllocs()
+	var last *program.Schedule
+	for i := 0; i < b.N; i++ {
+		s, err := program.ScheduleProgram(context.Background(), p, program.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	if err := last.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(last.SumII()), "sumII")
+	b.ReportMetric(float64(last.HardCount()), "hardRegions")
 }

@@ -22,6 +22,7 @@ import (
 	"vliwq"
 	"vliwq/internal/corpus"
 	"vliwq/internal/exp"
+	"vliwq/internal/ir"
 )
 
 var figures = map[string]func(exp.Options) *exp.Table{
@@ -39,6 +40,7 @@ var figures = map[string]func(exp.Options) *exp.Table{
 	"ablation-invariants": exp.AblationInvariants,
 	"portfolio":           exp.Portfolio,
 	"optimal":             exp.Optimal,
+	"frontier":            exp.Frontier,
 }
 
 func main() {
@@ -49,9 +51,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vliwexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig        = fs.String("fig", "all", "experiment to run: all (the paper's evaluation; excludes portfolio and optimal), or one of "+names())
+		fig        = fs.String("fig", "all", "experiment to run: all (the paper's evaluation; excludes portfolio, optimal and frontier), or one of "+names())
 		n          = fs.Int("n", corpus.PaperCorpusSize, "corpus size (number of synthetic loops)")
 		seed       = fs.Int64("seed", corpus.DefaultSeed, "corpus seed")
+		preset     = fs.String("preset", "", "use a named corpus preset instead of -n/-seed: "+strings.Join(corpus.PresetNames(), ", "))
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		effort     = fs.String("effort", "fast", "scheduler effort for every experiment: fast, balanced, exhaustive or optimal")
 		stageTimes = fs.Bool("stage-times", false, "after the experiments, print per-stage compile wall-clock totals")
@@ -74,8 +77,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var loops []*ir.Loop
+	if *preset != "" {
+		loops, err = corpus.Preset(*preset)
+		if err != nil {
+			fmt.Fprintf(stderr, "vliwexp: %v\n", err)
+			return 2
+		}
+	} else {
+		loops = corpus.Generate(corpus.Params{Seed: *seed, N: *n})
+	}
 	opts := exp.Options{
-		Loops:   corpus.Generate(corpus.Params{Seed: *seed, N: *n}),
+		Loops:   loops,
 		Workers: *workers,
 		Effort:  eff,
 		// One explicit pipeline for the whole run, so -stage-times can
@@ -93,7 +106,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			opts.StressedLoops = corpus.Generate(sp)
 		}
 	}
-	fmt.Fprintf(stdout, "corpus: %d loops (seed %d)\n\n", *n, *seed)
+	if *preset != "" {
+		fmt.Fprintf(stdout, "corpus: %d loops (preset %s)\n\n", len(loops), *preset)
+	} else {
+		fmt.Fprintf(stdout, "corpus: %d loops (seed %d)\n\n", *n, *seed)
+	}
 	if *fig == "all" {
 		exp.RunAll(stdout, opts)
 	} else {

@@ -81,7 +81,7 @@ func TestRunStageTimes(t *testing.T) {
 // rejected instead of generating an empty corpus.
 func TestRunBadFlags(t *testing.T) {
 	sortedList := "ablation-commlat, ablation-copyshape, ablation-invariants, ablation-moves, " +
-		"clusterres, copycost, fig3, fig4, fig6, fig8, fig9, optimal, portfolio, unrollqueues"
+		"clusterres, copycost, fig3, fig4, fig6, fig8, fig9, frontier, optimal, portfolio, unrollqueues"
 	tests := []struct {
 		name      string
 		args      []string
@@ -92,6 +92,8 @@ func TestRunBadFlags(t *testing.T) {
 		{"negative corpus", []string{"-n", "-5"}, "-n must be a positive corpus size (got -5)"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 		{"bad figure beats slow run", []string{"-fig", "nope", "-n", "1000000"}, "unknown figure"},
+		{"unknown preset lists valid", []string{"-preset", "nope"},
+			`unknown preset "nope" (valid: standard, stressed, traced)`},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -107,5 +109,34 @@ func TestRunBadFlags(t *testing.T) {
 				t.Fatalf("error path wrote to stdout: %s", stdout.String())
 			}
 		})
+	}
+}
+
+// TestRunFrontierGolden locks in the whole-program frontier table: the
+// traced programs swept across cluster counts. The table consumes the
+// traced preset directly, so -n only sizes the (unused) synthetic corpus.
+func TestRunFrontierGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fig", "frontier", "-n", "4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "frontier_n4", stdout.Bytes())
+}
+
+// TestRunPreset: -preset swaps the corpus for a named preset and the
+// header reports the preset instead of the seed.
+func TestRunPreset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fig", "fig3", "-preset", "traced"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "corpus: 6 loops (preset traced)") {
+		t.Fatalf("missing preset header:\n%s", out)
+	}
+	if !strings.Contains(out, "== fig3:") {
+		t.Fatalf("missing fig3 table:\n%s", out)
 	}
 }

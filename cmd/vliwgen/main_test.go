@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -45,6 +46,71 @@ func TestRunDumpGolden(t *testing.T) {
 	golden(t, "dump3_n30", stdout.Bytes())
 }
 
+const kernelTrace = "../../internal/frontend/testdata/kernel.trace"
+
+// TestRunTraceSummaryGolden locks in the -from-trace region summary: four
+// recovered regions with L2 classified hard on the default clustered:4.
+func TestRunTraceSummaryGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-from-trace", kernelTrace}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "trace_summary", stdout.Bytes())
+}
+
+// TestRunTraceBatch: -batch emits a /batch request body whose per-region
+// requests carry the classified efforts (trivial=fast, hard=optimal).
+func TestRunTraceBatch(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-from-trace", kernelTrace, "-batch"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	var body struct {
+		Requests []struct {
+			Loop    string `json:"loop"`
+			Machine string `json:"machine"`
+			Effort  string `json:"effort"`
+		} `json:"requests"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &body); err != nil {
+		t.Fatalf("batch output is not JSON: %v", err)
+	}
+	if len(body.Requests) < 3 {
+		t.Fatalf("batch has %d requests, want >= 3", len(body.Requests))
+	}
+	optimal := 0
+	for _, r := range body.Requests {
+		if r.Machine != "clustered:4" || r.Loop == "" {
+			t.Fatalf("malformed request: %+v", r)
+		}
+		if r.Effort == "optimal" {
+			optimal++
+		}
+	}
+	if optimal == 0 {
+		t.Fatal("no hard region requested effort optimal")
+	}
+	golden(t, "trace_batch", stdout.Bytes())
+}
+
+// TestRunTraceDumpGolden: -dump prints one region's lifted loop.
+func TestRunTraceDumpGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-from-trace", kernelTrace, "-dump", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "trace_dump2", stdout.Bytes())
+}
+
+// TestRunPresetStatsGolden: the traced preset feeds the normal stats path.
+func TestRunPresetStatsGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-preset", "traced", "-stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	golden(t, "stats_traced", stdout.Bytes())
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name      string
@@ -56,6 +122,11 @@ func TestRunErrors(t *testing.T) {
 		{"zero corpus", []string{"-n", "0", "-stats"}, 2, "-n must be a positive corpus size"},
 		{"no mode prints usage", []string{"-n", "5"}, 2, "Usage"},
 		{"unknown flag", []string{"-wat"}, 2, "flag provided but not defined"},
+		{"unknown preset lists valid", []string{"-preset", "nope", "-stats"}, 2,
+			`unknown preset "nope" (valid: standard, stressed, traced)`},
+		{"missing trace file", []string{"-from-trace", "testdata/nope.trace"}, 1, "no such file"},
+		{"trace region out of range", []string{"-from-trace", kernelTrace, "-dump", "9"}, 1, "out of range"},
+		{"bad trace machine", []string{"-from-trace", kernelTrace, "-machine", "hex:9"}, 1, "machine"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

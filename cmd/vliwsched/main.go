@@ -29,7 +29,9 @@ import (
 	"vliwq"
 	"vliwq/internal/copyins"
 	"vliwq/internal/corpus"
+	"vliwq/internal/frontend"
 	"vliwq/internal/ir"
+	"vliwq/internal/program"
 	"vliwq/internal/sched"
 )
 
@@ -55,6 +57,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		commLat     = fs.Int("commlat", 0, "inter-cluster communication latency in cycles")
 		effort      = fs.String("effort", "fast", "scheduler effort: fast, balanced, exhaustive (races partition strategies) or optimal (adds a branch-and-bound optimality certificate)")
 		dumpAfter   = fs.String("dump-after", "", "stop after a pipeline stage and print its artifact: "+strings.Join(vliwq.StageNames(), ", "))
+		fromTrace   = fs.String("from-trace", "", "schedule a whole RISC instruction trace (every recovered loop region) instead of one loop")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +66,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "vliwsched:", err)
 		return 1
+	}
+
+	if *fromTrace != "" {
+		// Whole-program mode: lift every region and schedule the program
+		// through internal/program. -effort selects the hard-region tier
+		// when given explicitly; the default keeps program's certified
+		// default (hard regions compile at effort optimal).
+		hardEffort := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "effort" {
+				hardEffort = *effort
+			}
+		})
+		return runTrace(*fromTrace, *machineSpec, hardEffort, *noVerify, stdout, fail)
 	}
 
 	if *list {
@@ -147,6 +164,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err := sched.EmitPipelined(stdout, res.Sched); err != nil {
 			return fail(err)
 		}
+	}
+	return 0
+}
+
+// runTrace schedules every loop region of a RISC trace as one program
+// (DESIGN.md §15) and prints the merged, verified program schedule.
+func runTrace(path, machineSpec, hardEffort string, noVerify bool, stdout io.Writer, fail func(error) int) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return fail(err)
+	}
+	defer f.Close()
+	p, err := frontend.Parse(f)
+	if err != nil {
+		return fail(err)
+	}
+	s, err := program.ScheduleProgram(context.Background(), p, program.Options{
+		Machine:    machineSpec,
+		HardEffort: hardEffort,
+		SkipVerify: noVerify,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := s.Verify(); err != nil {
+		return fail(err)
+	}
+	fmt.Fprint(stdout, s.Render())
+	if !noVerify {
+		fmt.Fprintln(stdout, "\nverified: every region's pipelined execution matches sequential reference")
 	}
 	return 0
 }

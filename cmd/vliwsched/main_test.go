@@ -182,3 +182,48 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestRunFromTraceGolden locks in the whole-program mode: the checked-in
+// kernel trace scheduled end to end on clustered:4, with the hard region
+// (L2) compiled at effort optimal and the merged schedule verified.
+func TestRunFromTraceGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-from-trace", "../../internal/frontend/testdata/kernel.trace", "-machine", "clustered:4"},
+		strings.NewReader(""), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "region L2 [hard, effort=optimal]") {
+		t.Fatalf("L2 not scheduled through the certified tier:\n%s", out)
+	}
+	if !strings.Contains(out, "verified: every region's pipelined execution matches sequential reference") {
+		t.Fatalf("missing verification line:\n%s", out)
+	}
+	golden(t, "kernelmix_clustered4", stdout.Bytes())
+}
+
+// TestRunFromTraceErrors: trace-mode failures exit non-zero with a
+// diagnostic.
+func TestRunFromTraceErrors(t *testing.T) {
+	tests := []struct {
+		name      string
+		args      []string
+		stderrHas string
+	}{
+		{"missing file", []string{"-from-trace", "testdata/nope.trace"}, "no such file"},
+		{"bad machine", []string{"-from-trace", "../../internal/frontend/testdata/kernel.trace", "-machine", "hex:9"}, "machine"},
+		{"bad effort", []string{"-from-trace", "../../internal/frontend/testdata/kernel.trace", "-effort", "wat"}, "effort"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tt.args, strings.NewReader(""), &stdout, &stderr); code == 0 {
+				t.Fatalf("run(%v) exited 0", tt.args)
+			}
+			if !strings.Contains(stderr.String(), tt.stderrHas) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tt.stderrHas)
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vliwq/internal/frontend"
+	"vliwq/internal/ir"
+)
+
+// The traced preset: checked-in RISC instruction traces lifted through
+// internal/frontend. Unlike the synthetic presets these loops carry the
+// fingerprints of real scalar code — bumped induction pointers, invariant
+// bias streams, accumulator recurrences and glue-separated regions — so
+// they exercise the frontend's dependence inference and the whole-program
+// scheduler (internal/program) end to end.
+
+// tracedKernelmix mirrors internal/frontend/testdata/kernel.trace: a small
+// signal-processing pipeline (scale, correlate, smooth, write back) whose
+// L2 region classifies hard on clustered machines.
+const tracedKernelmix = `# A small signal-processing pipeline: scale, correlate, smooth, write back.
+prog kernelmix
+
+	mov r0, 0
+	mov r1, 0
+	mov r2, 1000
+	mov r3, 2000
+	mov r4, 3000
+	mov r5, 64
+	mov r6, 3
+	mov r7, 4000
+	mov r8, 0
+
+# Region L0: scale x[] by r6 into y[].
+L0:
+	trip 64
+	ld r9, [r2]
+	mul r10, r9, r6
+	st r10, [r3]
+	add r2, r2, 8
+	add r3, r3, 8
+	sub r5, r5, 1
+	bne r5, r0, L0
+
+	mov r2, 1000
+	mov r5, 96
+
+# Region L1: dot product of x[] and y[] into r1.
+L1:
+	trip 96
+	ld r9, [r2]
+	ld r10, [r3]
+	mul r11, r9, r10
+	add r1, r1, r11
+	add r2, r2, 8
+	add r3, r3, 8
+	sub r5, r5, 1
+	bne r5, r0, L1
+
+	mov r2, 1000
+	mov r3, 2000
+	mov r5, 80
+	mov r12, 5
+	mov r13, 7
+
+# Region L2: two-tap weighted smooth with a bias stream — the hard region.
+L2:
+	trip 80
+	ld r9, [r2]
+	ld r10, [r3]
+	ld r11, [r4]
+	mul r14, r9, r12
+	mul r15, r10, r13
+	add r16, r14, r15
+	add r16, r16, r11
+	st r16, [r7]
+	add r2, r2, 8
+	add r3, r3, 8
+	add r4, r4, 8
+	add r7, r7, 8
+	sub r5, r5, 1
+	bne r5, r0, L2
+
+	mov r5, 32
+
+# Region L3: block copy w[] -> x[].
+L3:
+	trip 32
+	ld r9, [r7]
+	st r9, [r2]
+	add r7, r7, 8
+	add r2, r2, 8
+	sub r5, r5, 1
+	bne r5, r0, L3
+
+	st r1, [r4]
+`
+
+// tracedStencilsum: a two-region trace — a neighbour sum over a stream
+// followed by a sum-of-squares reduction.
+const tracedStencilsum = `prog stencilsum
+
+	mov r0, 0
+	mov r1, 0
+	mov r2, 1000
+	mov r3, 2000
+	mov r5, 48
+
+# Region L0: y[i] = x[i] + x[i+1].
+L0:
+	trip 48
+	ld r9, [r2]
+	ld r10, [r2+8]
+	add r11, r9, r10
+	st r11, [r3]
+	add r2, r2, 8
+	add r3, r3, 8
+	sub r5, r5, 1
+	bne r5, r0, L0
+
+	mov r3, 2000
+	mov r5, 40
+
+# Region L1: r1 += y[i]^2.
+L1:
+	trip 40
+	ld r9, [r3]
+	mul r10, r9, r9
+	add r1, r1, r10
+	add r3, r3, 8
+	sub r5, r5, 1
+	bne r5, r0, L1
+
+	st r1, [r3]
+`
+
+var (
+	tracedOnce  sync.Once
+	tracedProgs []*frontend.Program
+	tracedLoops []*ir.Loop
+)
+
+// TracedPrograms returns the checked-in RISC traces parsed and lifted
+// through internal/frontend. Like Standard and Stressed, the slice is
+// shared and read-only.
+func TracedPrograms() []*frontend.Program {
+	tracedOnce.Do(func() {
+		for _, src := range []string{tracedKernelmix, tracedStencilsum} {
+			p, err := frontend.ParseString(src)
+			if err != nil {
+				panic(fmt.Sprintf("corpus: embedded trace does not parse: %v", err))
+			}
+			tracedProgs = append(tracedProgs, p)
+			for _, r := range p.Regions {
+				tracedLoops = append(tracedLoops, r.Loop)
+			}
+		}
+	})
+	return tracedProgs
+}
+
+// Traced returns every loop region lifted from the traced programs, in
+// program order — the trace-derived counterpart of Standard/Stressed for
+// experiments and tools that consume plain loop corpora.
+func Traced() []*ir.Loop {
+	TracedPrograms()
+	return tracedLoops
+}
+
+// presets is the named-corpus registry shared by the cmd tools.
+var presets = map[string]func() []*ir.Loop{
+	"standard": Standard,
+	"stressed": Stressed,
+	"traced":   Traced,
+}
+
+// PresetNames lists the valid preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset resolves a named corpus. Unknown names fail with the sorted list
+// of valid presets, so tool errors are self-describing.
+func Preset(name string) ([]*ir.Loop, error) {
+	fn, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown preset %q (valid: %s)", name, joinNames())
+	}
+	return fn(), nil
+}
+
+func joinNames() string {
+	out := ""
+	for i, n := range PresetNames() {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

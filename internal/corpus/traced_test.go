@@ -1,0 +1,68 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracedPrograms(t *testing.T) {
+	ps := TracedPrograms()
+	if len(ps) != 2 {
+		t.Fatalf("traced programs = %d, want 2", len(ps))
+	}
+	wantRegions := map[string]int{"kernelmix": 4, "stencilsum": 2}
+	total := 0
+	for _, p := range ps {
+		want, ok := wantRegions[p.Name]
+		if !ok {
+			t.Fatalf("unexpected program %q", p.Name)
+		}
+		if len(p.Regions) != want {
+			t.Fatalf("program %q has %d regions, want %d", p.Name, len(p.Regions), want)
+		}
+		total += len(p.Regions)
+		for _, r := range p.Regions {
+			if r.Loop == nil {
+				t.Fatalf("program %q region %q has no lifted loop", p.Name, r.Label)
+			}
+			if err := r.Loop.Validate(); err != nil {
+				t.Fatalf("program %q region %q lifts invalid: %v", p.Name, r.Label, err)
+			}
+		}
+	}
+	loops := Traced()
+	if len(loops) != total {
+		t.Fatalf("Traced() = %d loops, want %d (one per region)", len(loops), total)
+	}
+	// Shared identity, like Standard/Stressed: the preset returns the same
+	// loop objects the programs hold, so the experiment pipeline's cache
+	// keys them consistently.
+	if loops[0] != ps[0].Regions[0].Loop {
+		t.Fatal("Traced() does not share loop identity with TracedPrograms()")
+	}
+}
+
+func TestPresetRegistry(t *testing.T) {
+	names := PresetNames()
+	if got := strings.Join(names, ","); got != "standard,stressed,traced" {
+		t.Fatalf("PresetNames() = %q, want sorted standard,stressed,traced", got)
+	}
+	traced, err := Preset("traced")
+	if err != nil || len(traced) == 0 {
+		t.Fatalf("Preset(traced) = %d loops, err %v", len(traced), err)
+	}
+	std, err := Preset("standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(std) == 0 || std[0] != Standard()[0] {
+		t.Fatal("Preset(standard) does not return the memoized Standard corpus")
+	}
+	_, err = Preset("nope")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if got, want := err.Error(), `unknown preset "nope" (valid: standard, stressed, traced)`; got != want {
+		t.Fatalf("error = %q, want %q", got, want)
+	}
+}

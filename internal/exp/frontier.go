@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/program"
+)
+
+// Frontier sweeps the traced programs (corpus.TracedPrograms) across
+// cluster counts and reports, per (program, machine) point, the whole-
+// program trade-off the clustering decision moves along: steady-state cost
+// (sum of region IIs), inter-cluster copy traffic, and register pressure
+// (private and ring queue demand). It is the program-level counterpart of
+// Fig. 6: where the paper plots per-loop II variation against cluster
+// count, the frontier shows what a whole trace pays. Not part of RunAll —
+// it consumes traces, not the synthetic corpus.
+func Frontier(o Options) *Table {
+	clusters := []int{2, 4, 6}
+	t := &Table{
+		ID:     "frontier",
+		Title:  "whole-program frontier: II vs copy traffic vs register pressure (traced programs)",
+		Header: []string{"program", "clusters", "regions", "hard", "sum II", "copy ops", "max queues", "max ring"},
+		Notes: []string{
+			"traced preset: RISC traces lifted via internal/frontend, scheduled via internal/program",
+			"hard regions compile at effort optimal and carry Bound certificates",
+		},
+	}
+	for _, p := range corpus.TracedPrograms() {
+		for _, c := range clusters {
+			s, err := program.ScheduleProgram(context.Background(), p, program.Options{
+				Machine:    fmt.Sprintf("clustered:%d", c),
+				Workers:    o.Workers,
+				SkipVerify: true,
+			})
+			if err != nil {
+				t.Rows = append(t.Rows, []string{p.Name, fmt.Sprint(c), "error: " + err.Error()})
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				p.Name,
+				fmt.Sprint(c),
+				fmt.Sprint(len(s.Regions)),
+				fmt.Sprint(s.HardCount()),
+				fmt.Sprint(s.SumII()),
+				fmt.Sprint(s.CopyOps()),
+				fmt.Sprint(s.MaxQueues()),
+				fmt.Sprint(s.MaxRingQueues()),
+			})
+		}
+	}
+	return t
+}

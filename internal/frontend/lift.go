@@ -1,0 +1,238 @@
+package frontend
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwq/internal/ir"
+)
+
+// Dependence inference and region lifting. Distances come from the
+// back-edge: a dependence satisfied inside one iteration has distance 0,
+// one that wraps through the backward branch has distance 1. The full
+// register dependence graph — true, anti and output — is recorded in
+// Region.Deps, but only true and memory dependences are lifted into the
+// ir loop: the queue register files rename every written value, so anti
+// and output register hazards never constrain the schedule (they are
+// counted in Region.Discharged instead).
+
+// kindOf maps a trace instruction onto the IR op repertoire. Control
+// transfers never reach it (the closing branch is not lifted), and the
+// single-cycle logical/compare/move ops all share the ALU slot.
+func kindOf(in Inst) ir.OpKind {
+	switch in.Mnemonic {
+	case "ld":
+		return ir.KLoad
+	case "st":
+		return ir.KStore
+	case "mul":
+		return ir.KMul
+	case "div":
+		return ir.KDiv
+	default:
+		return ir.KAdd
+	}
+}
+
+// liftRegion infers the region's dependence graph and lifts its body to
+// an ir loop, in one deterministic pass over the body in program order.
+func liftRegion(p *Program, r *Region) error {
+	body := r.Body(p)
+	m := len(body)
+
+	defs := make(map[string][]int) // register -> body indexes that write it
+	for k, in := range body {
+		if in.Dest != "" {
+			defs[in.Dest] = append(defs[in.Dest], k)
+		}
+	}
+	priorDef := func(reg string, k int) int {
+		ds := defs[reg]
+		i := sort.SearchInts(ds, k) - 1
+		if i < 0 {
+			return -1
+		}
+		return ds[i]
+	}
+	nextDef := func(reg string, k int) int {
+		ds := defs[reg]
+		i := sort.SearchInts(ds, k+1)
+		if i >= len(ds) {
+			return -1
+		}
+		return ds[i]
+	}
+	lastDef := func(reg string) int {
+		ds := defs[reg]
+		if len(ds) == 0 {
+			return -1
+		}
+		return ds[len(ds)-1]
+	}
+
+	l := ir.New(r.Label)
+	l.Trip = r.Trip
+	ops := make([]*ir.Op, m)
+	for k, in := range body {
+		ops[k] = l.AddOp(kindOf(in), fmt.Sprintf("%s%d", in.Mnemonic, k))
+	}
+
+	addDep := func(d RegDep) {
+		r.Deps = append(r.Deps, d)
+	}
+
+	// True dependences, reads in operand order so the lifted FlowInputs
+	// sequence matches the instruction's operand sequence.
+	for k, in := range body {
+		for _, reg := range in.readRegs() {
+			if pd := priorDef(reg, k); pd >= 0 {
+				addDep(RegDep{From: pd, To: k, Dist: 0, Class: DepTrue, Reg: reg})
+				l.AddDep(ir.Dep{From: ops[pd].ID, To: ops[k].ID, Dist: 0, Kind: ir.Flow})
+			} else if ld := lastDef(reg); ld >= 0 {
+				// No write yet this iteration: the value flows from the
+				// last write of the previous iteration through the
+				// back-edge.
+				addDep(RegDep{From: ld, To: k, Dist: 1, Class: DepTrue, Reg: reg})
+				l.AddDep(ir.Dep{From: ops[ld].ID, To: ops[k].ID, Dist: 1, Kind: ir.Flow})
+			}
+			// else: loop-invariant input, written only by glue code.
+		}
+	}
+
+	// Anti (write-after-read) and output (write-after-write) register
+	// dependences: real on the register machine the trace ran on,
+	// discharged by queue renaming on the target. Recorded, not lifted.
+	for k, in := range body {
+		for _, reg := range in.readRegs() {
+			if nd := nextDef(reg, k); nd >= 0 {
+				addDep(RegDep{From: k, To: nd, Dist: 0, Class: DepAnti, Reg: reg})
+				r.Discharged++
+			} else if fd := firstDef(defs, reg); fd >= 0 {
+				addDep(RegDep{From: k, To: fd, Dist: 1, Class: DepAnti, Reg: reg})
+				r.Discharged++
+			}
+		}
+	}
+	for _, ds := range sortedDefs(defs) {
+		for i := 0; i+1 < len(ds.idxs); i++ {
+			addDep(RegDep{From: ds.idxs[i], To: ds.idxs[i+1], Dist: 0, Class: DepOutput, Reg: ds.reg})
+			r.Discharged++
+		}
+		addDep(RegDep{From: ds.idxs[len(ds.idxs)-1], To: ds.idxs[0], Dist: 1, Class: DepOutput, Reg: ds.reg})
+		r.Discharged++
+	}
+
+	// Memory ordering. Two accesses may alias only when they use the same
+	// base register holding the same value: same reaching definition of
+	// the base (or both loop-invariant). Within an iteration the nearest
+	// conflicting access orders them; across iterations only invariant
+	// bases (the same address every iteration) conflict — a base the
+	// region itself advances (a bumped induction pointer) never revisits
+	// an address, the standard strided-pointer disambiguation.
+	type group struct {
+		base    string
+		reach   int  // reaching def body index; -1 = invariant
+		carried bool // reaching def wraps the back-edge
+	}
+	groups := make(map[group][]int)
+	var groupOrder []group
+	for k, in := range body {
+		if in.Base == "" {
+			continue
+		}
+		g := group{base: in.Base}
+		if pd := priorDef(in.Base, k); pd >= 0 {
+			g.reach = pd
+		} else if ld := lastDef(in.Base); ld >= 0 {
+			g.reach, g.carried = ld, true
+		} else {
+			g.reach = -1
+		}
+		if _, seen := groups[g]; !seen {
+			groupOrder = append(groupOrder, g)
+		}
+		groups[g] = append(groups[g], k)
+	}
+	memDep := func(from, to, dist int, base string) {
+		addDep(RegDep{From: from, To: to, Dist: dist, Class: DepMem, Reg: base})
+		l.AddDep(ir.Dep{From: ops[from].ID, To: ops[to].ID, Dist: dist, Kind: ir.Mem})
+	}
+	for _, g := range groupOrder {
+		accs := groups[g]
+		lastStore, lastAccess := -1, -1
+		for _, a := range accs {
+			isStore := body[a].Mnemonic == "st"
+			if isStore && lastAccess >= 0 {
+				memDep(lastAccess, a, 0, g.base)
+			} else if !isStore && lastStore >= 0 {
+				memDep(lastStore, a, 0, g.base)
+			}
+			if isStore {
+				lastStore = a
+			}
+			lastAccess = a
+		}
+		if g.reach == -1 && lastStore >= 0 {
+			// Invariant base: the same address every iteration, so the
+			// last store must complete before the next iteration's first
+			// access.
+			memDep(lastStore, accs[0], 1, g.base)
+		}
+	}
+
+	// Values produced but never consumed in-region (a carried or same-
+	// iteration read counts as consumption) get an explicit store sink,
+	// mirroring the corpus generator: the scheduler treats every produced
+	// value as observable.
+	consumed := make([]bool, m)
+	for _, d := range l.Deps {
+		if d.Kind == ir.Flow {
+			consumed[d.From] = true
+		}
+	}
+	for k := 0; k < m; k++ {
+		if ops[k].Kind.HasResult() && !consumed[k] {
+			sink := l.AddOp(ir.KStore, fmt.Sprintf("sink%d", k))
+			l.AddFlow(ops[k], sink)
+		}
+	}
+
+	if err := l.Validate(); err != nil {
+		return fmt.Errorf("frontend: region %q lifts to an invalid loop: %v", r.Label, err)
+	}
+	// Canonicalize through the ir text round trip so the lifted loop's
+	// dependence order is exactly what a compiler sees after the loop
+	// travels as Request.Loop text: dist-0 flow deps in op-line order,
+	// then explicit carried/mem directives. Skeleton comparisons between
+	// the lifted region and Result.Input then hold byte-for-byte.
+	canon, err := ir.ParseString(ir.FormatString(l))
+	if err != nil {
+		return fmt.Errorf("frontend: region %q does not round-trip the ir text format: %v", r.Label, err)
+	}
+	r.Loop = canon
+	return nil
+}
+
+func firstDef(defs map[string][]int, reg string) int {
+	ds := defs[reg]
+	if len(ds) == 0 {
+		return -1
+	}
+	return ds[0]
+}
+
+// sortedDefs returns the def lists in deterministic (register-sorted)
+// order for the output-dependence walk.
+type regDefs struct {
+	reg  string
+	idxs []int
+}
+
+func sortedDefs(defs map[string][]int) []regDefs {
+	out := make([]regDefs, 0, len(defs))
+	for reg, ds := range defs {
+		out = append(out, regDefs{reg: reg, idxs: ds})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].reg < out[j].reg })
+	return out
+}

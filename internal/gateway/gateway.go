@@ -912,6 +912,7 @@ func (g *Gateway) Stats(ctx context.Context) StatsResponse {
 		st.TotalStructural.Enabled = st.TotalStructural.Enabled || bs.Structural.Enabled
 		st.TotalStructural.Hits += bs.Structural.Hits
 		st.TotalStructural.Coalesced += bs.Structural.Coalesced
+		st.TotalStructural.Reordered += bs.Structural.Reordered
 		st.TotalStructural.Renumbered += bs.Structural.Renumbered
 		st.TotalStructural.Entries += bs.Structural.Entries
 		st.TotalOptimal.Proved += bs.Optimal.Proved

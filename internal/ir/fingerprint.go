@@ -32,8 +32,10 @@ import (
 // tie-breaking is ID-based, so a permuted body may legitimately schedule
 // differently, and serving it a remapped schedule would break the
 // fresh-compile byte-identity guarantee. Fingerprint, by contrast, is
-// permutation-invariant; the gap between the two is observable as the
-// serving stack's structural.renumbered counter.
+// permutation-invariant; the serving stack bridges the gap by aligning a
+// permuted spelling onto the cached class leader's statement order with
+// AlignLike (counted structural.reordered) and falls back to a fresh
+// compile only when no alignment exists (structural.renumbered).
 func Skeleton(l *Loop) string {
 	var b strings.Builder
 	b.Grow(16 * (len(l.Ops) + len(l.Deps)))
@@ -68,9 +70,48 @@ func Skeleton(l *Loop) string {
 // reused.
 func Fingerprint(l *Loop) string {
 	n := len(l.Ops)
-	// slot[i] is dep i's operand position: its index among the deps of the
-	// same kind entering the same consumer, the order FlowInputs exposes.
-	slot := make([]int, len(l.Deps))
+	colors, slot := wlRefine(l)
+
+	// Canonical order: by final color, residual ties by statement order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return colors[order[a]] < colors[order[b]] })
+	canon := make([]int, n) // canon[id] = canonical index
+	for ci, id := range order {
+		canon[id] = ci
+	}
+
+	// Serialize the canonically relabeled skeleton and hash it.
+	var b strings.Builder
+	b.Grow(16 * (n + len(l.Deps)))
+	fmt.Fprintf(&b, "fp1;t=%d;u=%d;n=%d;", l.TripCount(), l.Unroll, n)
+	for _, id := range order {
+		op := l.Ops[id]
+		fmt.Fprintf(&b, "%d:%d:%d,", op.Kind, op.Orig, op.Phase)
+	}
+	b.WriteByte(';')
+	edges := make([]string, len(l.Deps))
+	for i, d := range l.Deps {
+		edges[i] = fmt.Sprintf("%d>%d:%d:%d:%d", canon[d.From], canon[d.To], d.Dist, d.Kind, slot[i])
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteString(e)
+		b.WriteByte(',')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// wlRefine runs the Weisfeiler-Lehman color refinement shared by
+// Fingerprint and AlignLike. It returns the stable per-op colors and each
+// dependence's operand slot: its index among the deps of the same kind
+// entering the same consumer, the order FlowInputs exposes.
+func wlRefine(l *Loop) (colors []uint64, slot []int) {
+	n := len(l.Ops)
+	slot = make([]int, len(l.Deps))
 	{
 		type ck struct {
 			to   int
@@ -84,7 +125,7 @@ func Fingerprint(l *Loop) string {
 		}
 	}
 
-	colors := make([]uint64, n)
+	colors = make([]uint64, n)
 	for i, op := range l.Ops {
 		colors[i] = fpMix(0x9e3779b97f4a7c15 ^ uint64(op.Kind)<<32 ^
 			uint64(uint32(op.Orig))<<8 ^ uint64(uint32(op.Phase)))
@@ -120,38 +161,7 @@ func Fingerprint(l *Loop) string {
 		}
 		distinct = nd
 	}
-
-	// Canonical order: by final color, residual ties by statement order.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool { return colors[order[a]] < colors[order[b]] })
-	canon := make([]int, n) // canon[id] = canonical index
-	for ci, id := range order {
-		canon[id] = ci
-	}
-
-	// Serialize the canonically relabeled skeleton and hash it.
-	var b strings.Builder
-	b.Grow(16 * (n + len(l.Deps)))
-	fmt.Fprintf(&b, "fp1;t=%d;u=%d;n=%d;", l.TripCount(), l.Unroll, n)
-	for _, id := range order {
-		op := l.Ops[id]
-		fmt.Fprintf(&b, "%d:%d:%d,", op.Kind, op.Orig, op.Phase)
-	}
-	b.WriteByte(';')
-	edges := make([]string, len(l.Deps))
-	for i, d := range l.Deps {
-		edges[i] = fmt.Sprintf("%d>%d:%d:%d:%d", canon[d.From], canon[d.To], d.Dist, d.Kind, slot[i])
-	}
-	sort.Strings(edges)
-	for _, e := range edges {
-		b.WriteString(e)
-		b.WriteByte(',')
-	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:])
+	return colors, slot
 }
 
 // fpMix is the splitmix64 finalizer: a cheap bijective avalanche used to

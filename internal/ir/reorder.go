@@ -1,0 +1,115 @@
+package ir
+
+// Statement reordering: AlignLike maps one spelling of a loop onto the
+// statement order of another, isomorphic spelling. The serving stack uses
+// it as the canonical pre-ordering in front of the structural cache — the
+// first spelling of an isomorphism class to be compiled fixes the class's
+// canonical statement order, and every later permutation of it is aligned
+// onto that order so the cached schedule can be served through the same
+// rename-only remap that renamed spellings use (see DESIGN.md §12).
+
+// AlignLike returns a copy of l whose statements are renumbered into
+// target's statement order, or ok=false when no alignment can be
+// established. On success the returned loop satisfies
+// Skeleton(aligned) == Skeleton(target) by construction while keeping l's
+// loop and operation names: position π(i) holds l's op i, and the
+// dependence list is target's verbatim. The alignment is found by running
+// the same WL color refinement that Fingerprint uses on both loops and
+// pairing equal-colored ops in statement order; every dependence of the
+// mapped l must then reproduce target's dependence list exactly (same
+// endpoints, distance, kind and operand slot), which makes the pairing a
+// genuine isomorphism — operand order, the one place where statement
+// order is semantic, is preserved edge by edge.
+//
+// Raw spellings only: loops carrying unroll lineage (any op with
+// Orig >= 0) are refused, as are pairs that differ in op or dep counts,
+// trip count or unroll factor. Failure is always safe — callers fall back
+// to a fresh compile.
+func AlignLike(l, target *Loop) (aligned *Loop, ok bool) {
+	n := len(l.Ops)
+	if n != len(target.Ops) || len(l.Deps) != len(target.Deps) {
+		return nil, false
+	}
+	if l.TripCount() != target.TripCount() || l.Unroll != target.Unroll {
+		return nil, false
+	}
+	for _, op := range l.Ops {
+		if op.Orig >= 0 {
+			return nil, false
+		}
+	}
+	for _, op := range target.Ops {
+		if op.Orig >= 0 {
+			return nil, false
+		}
+	}
+
+	colorsL, slotL := wlRefine(l)
+	colorsT, slotT := wlRefine(target)
+
+	// Pair equal-colored ops in statement order: l's k-th op of color c
+	// maps to target's k-th op of color c. Residually tied ops (same final
+	// color) are structurally interchangeable whenever the dependence check
+	// below passes, so statement order is a valid tie-break.
+	groupT := make(map[uint64][]int, n)
+	for i, c := range colorsT {
+		groupT[c] = append(groupT[c], i)
+	}
+	pi := make([]int, n) // pi[i] = target position of l's op i
+	taken := make(map[uint64]int, len(groupT))
+	for i, c := range colorsL {
+		g := groupT[c]
+		k := taken[c]
+		if k >= len(g) {
+			return nil, false
+		}
+		taken[c] = k + 1
+		j := g[k]
+		if l.Ops[i].Kind != target.Ops[j].Kind || l.Ops[i].Phase != target.Ops[j].Phase {
+			return nil, false
+		}
+		pi[i] = j
+	}
+	for c, g := range groupT {
+		if taken[c] != len(g) {
+			return nil, false
+		}
+	}
+
+	// The mapped dependence set must reproduce target's exactly. Keys are
+	// unique within a loop — (to, kind, slot) already identifies one dep —
+	// so a set comparison suffices.
+	type dkey struct {
+		from, to int
+		dist     int
+		kind     DepKind
+		slot     int
+	}
+	mapped := make(map[dkey]struct{}, len(l.Deps))
+	for i, d := range l.Deps {
+		k := dkey{pi[d.From], pi[d.To], d.Dist, d.Kind, slotL[i]}
+		if _, dup := mapped[k]; dup {
+			return nil, false
+		}
+		mapped[k] = struct{}{}
+	}
+	for j, d := range target.Deps {
+		if _, hit := mapped[dkey{d.From, d.To, d.Dist, d.Kind, slotT[j]}]; !hit {
+			return nil, false
+		}
+	}
+
+	aligned = &Loop{
+		Name:   l.Name,
+		Trip:   l.Trip,
+		Unroll: l.Unroll,
+		Ops:    make([]*Op, n),
+		Deps:   append([]Dep(nil), target.Deps...),
+	}
+	for i, op := range l.Ops {
+		cp := *op
+		cp.ID = pi[i]
+		aligned.Ops[pi[i]] = &cp
+	}
+	return aligned, true
+}

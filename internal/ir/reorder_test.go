@@ -1,0 +1,156 @@
+package ir_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/ir"
+)
+
+// permute returns a spelling of l with its statements reordered by a
+// deterministic shuffle: op i moves to position perm[i], and the dep list
+// keeps its original sequence with remapped endpoints (so every consumer's
+// operand order is preserved).
+func permute(l *ir.Loop, seed uint64) (*ir.Loop, []int) {
+	n := len(l.Ops)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	state := seed
+	for i := n - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int((state >> 33) % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	p := &ir.Loop{Name: l.Name, Trip: l.Trip, Unroll: l.Unroll, Ops: make([]*ir.Op, n)}
+	for i, op := range l.Ops {
+		cp := *op
+		cp.ID = perm[i]
+		p.Ops[perm[i]] = &cp
+	}
+	for _, d := range l.Deps {
+		p.Deps = append(p.Deps, ir.Dep{From: perm[d.From], To: perm[d.To], Dist: d.Dist, Kind: d.Kind})
+	}
+	return p, perm
+}
+
+// depKeys flattens a loop's dependences into name-based strings (producer,
+// consumer, distance, kind, operand slot), the statement-order-free
+// semantic content AlignLike must preserve. Every op must be named.
+func depKeys(l *ir.Loop) map[string]int {
+	type ck struct {
+		to   int
+		kind ir.DepKind
+	}
+	slotSeen := make(map[ck]int)
+	keys := make(map[string]int)
+	for _, d := range l.Deps {
+		k := ck{d.To, d.Kind}
+		s := slotSeen[k]
+		slotSeen[k]++
+		keys[fmt.Sprintf("%s>%s:%d:%d:%d", l.Ops[d.From].Name, l.Ops[d.To].Name, d.Dist, d.Kind, s)]++
+	}
+	return keys
+}
+
+func nameAll(l *ir.Loop) *ir.Loop {
+	c := l.Clone()
+	for i, op := range c.Ops {
+		op.Name = fmt.Sprintf("n%d", i)
+	}
+	return c
+}
+
+func TestAlignLikeRecoversPermutations(t *testing.T) {
+	loops := corpus.Generate(corpus.Params{Seed: 7, N: 40})
+	aligned := 0
+	for li, raw := range loops {
+		orig := nameAll(raw)
+		perm, _ := permute(orig, uint64(li)*2654435761+1)
+		if len(orig.Ops) > 1 && ir.Skeleton(perm) == ir.Skeleton(orig) {
+			continue // shuffle was the identity; nothing to align
+		}
+		if ir.Fingerprint(perm) != ir.Fingerprint(orig) {
+			// WL could not fully split a symmetric body, so the permuted
+			// spelling lands in a different fingerprint class and the
+			// serving stack never attempts an alignment. Skip: AlignLike's
+			// contract only covers fingerprint-equal spellings.
+			continue
+		}
+		got, ok := ir.AlignLike(perm, orig)
+		if !ok {
+			t.Fatalf("loop %d: AlignLike failed on a fingerprint-equal permutation", li)
+		}
+		aligned++
+		if ir.Skeleton(got) != ir.Skeleton(orig) {
+			t.Fatalf("loop %d: aligned skeleton differs from target", li)
+		}
+		if got.Name != perm.Name {
+			t.Fatalf("loop %d: aligned loop lost its name", li)
+		}
+		want := depKeys(perm)
+		have := depKeys(got)
+		if len(want) != len(have) {
+			t.Fatalf("loop %d: aligned dep set changed size", li)
+		}
+		for k, c := range want {
+			if have[k] != c {
+				t.Fatalf("loop %d: aligned loop lost dependence %s", li, k)
+			}
+		}
+	}
+	if aligned == 0 {
+		t.Fatal("no permutation exercised AlignLike")
+	}
+}
+
+func TestAlignLikeRefusals(t *testing.T) {
+	a := ir.New("a")
+	x := a.AddOp(ir.KAdd, "x")
+	y := a.AddOp(ir.KAdd, "y")
+	a.AddFlow(x, y)
+
+	// Different dependence structure, same op multiset.
+	b := ir.New("b")
+	u := b.AddOp(ir.KAdd, "u")
+	v := b.AddOp(ir.KAdd, "v")
+	b.AddCarried(u, v, 1)
+	if _, ok := ir.AlignLike(a, b); ok {
+		t.Fatal("aligned structurally different loops")
+	}
+
+	// Different op counts.
+	c := ir.New("c")
+	c.AddOp(ir.KAdd, "w")
+	if _, ok := ir.AlignLike(a, c); ok {
+		t.Fatal("aligned loops of different size")
+	}
+
+	// Different trip counts.
+	d := ir.New("d")
+	dx := d.AddOp(ir.KAdd, "x")
+	dy := d.AddOp(ir.KAdd, "y")
+	d.AddFlow(dx, dy)
+	d.Trip = a.TripCount() + 1
+	if _, ok := ir.AlignLike(a, d); ok {
+		t.Fatal("aligned loops with different trip counts")
+	}
+
+	// Unroll lineage refused: alignment is for raw spellings only.
+	e := a.Clone()
+	e.Ops[0].Orig = 0
+	if _, ok := ir.AlignLike(e, e); ok {
+		t.Fatal("aligned a loop carrying unroll lineage")
+	}
+
+	// Same fingerprint class, identical order: alignment is the identity.
+	got, ok := ir.AlignLike(a, a)
+	if !ok {
+		t.Fatal("failed to align a loop with itself")
+	}
+	if ir.Skeleton(got) != ir.Skeleton(a) {
+		t.Fatal("self-alignment changed the skeleton")
+	}
+}

@@ -243,9 +243,19 @@ type StructuralStats struct {
 	// run. (The exact cache separately coalesces byte-identical requests;
 	// its counter lives under cache.coalesced.)
 	Coalesced int64 `json:"coalesced"`
-	// Renumbered counts fingerprint matches rejected by the skeleton gate:
-	// the loop was isomorphic to a cached class but statement-renumbered,
-	// so it compiled fresh to preserve fresh-compile byte-identity.
+	// Reordered is the subset of Hits whose spelling was
+	// statement-permuted relative to the cached class: the skeleton gate
+	// rejected it as-is, but ir.AlignLike renumbered it into the class
+	// leader's canonical statement order, after which the ordinary
+	// rename-only remap applied. Reordered responses are deterministic
+	// (every identically-warmed server serves the same bytes) but carry
+	// the class leader's schedule rather than a fresh compile of the
+	// permuted spelling, whose ID-based tie-breaking could differ.
+	Reordered int64 `json:"reordered"`
+	// Renumbered counts fingerprint matches rejected by the skeleton gate
+	// that AlignLike could not map onto the cached class (no alignment
+	// exists, or the spelling carries unroll lineage), so they compiled
+	// fresh.
 	Renumbered int64 `json:"renumbered"`
 	// Entries is the structural cache's current size (one per compiled
 	// isomorphism class).
@@ -347,6 +357,7 @@ type Server struct {
 	// Structural-layer counters (see StructuralStats).
 	structHits       atomic.Int64
 	structCoalesced  atomic.Int64
+	structReordered  atomic.Int64
 	structRenumbered atomic.Int64
 
 	// Certified-tier counters (see OptimalStats).
@@ -525,12 +536,23 @@ func (s *Server) compileClass(ctx context.Context, req CompileRequest, loop *vli
 // spelling racing the original) coalesce onto a single pipeline run via the
 // cache's singleflight semantics; structural.coalesced counts the joiners.
 //
-// Fallbacks preserve pre-structural behaviour exactly: a disabled layer, an
-// unparseable loop (the pipeline owns the error text), or a fingerprint
-// match whose skeleton differs (statement-renumbered — the scheduler's
-// ID-based tie-breaking may schedule it differently, so a remap could
-// violate byte-identity) all run the plain compute path; renumbered
-// sightings are counted so the missed reuse is observable.
+// A fingerprint match whose skeleton differs is a statement-permuted
+// spelling of the cached class. Those are canonically pre-ordered before
+// reuse: ir.AlignLike renumbers the caller's spelling into the class
+// leader's statement order (the first spelling to compile fixes the
+// class's canonical order), re-checks the skeleton gate, and serves the
+// rename-only remap — counted structural.reordered. Renamed-only
+// spellings keep the strict fresh-compile byte-identity guarantee;
+// reordered ones trade it for class-determinism: the served schedule is
+// the leader's, valid for the caller's loop (same skeleton after
+// alignment) and identical across identically-warmed servers, but a fresh
+// compile of the permuted spelling could break ID-based ties differently.
+//
+// Fallbacks preserve pre-structural behaviour exactly: a disabled layer,
+// an unparseable loop (the pipeline owns the error text), or a permuted
+// spelling AlignLike cannot map (no alignment exists, or unroll lineage is
+// present) all run the plain compute path; those renumbered sightings are
+// counted so the missed reuse is observable.
 func (s *Server) computeRouted(ctx context.Context, req CompileRequest) outcome {
 	if s.structs == nil {
 		return s.compute(ctx, req)
@@ -572,9 +594,14 @@ func (s *Server) computeRouted(ctx context.Context, req CompileRequest) outcome 
 		// caller's names.
 		return outcome{resp: s.render(ent.res, req.Effort), deadlineCut: cut}
 	}
+	reordered := false
 	if ir.Skeleton(loop) != ent.skel {
-		s.structRenumbered.Add(1)
-		return s.compute(ctx, req)
+		aligned, ok := ir.AlignLike(loop, ent.res.Input)
+		if !ok || ir.Skeleton(aligned) != ent.skel {
+			s.structRenumbered.Add(1)
+			return s.compute(ctx, req)
+		}
+		loop, reordered = aligned, true
 	}
 	remapped, rerr := vliwq.RemapResult(ent.res, loop)
 	if rerr != nil {
@@ -583,6 +610,9 @@ func (s *Server) computeRouted(ctx context.Context, req CompileRequest) outcome 
 		return s.compute(ctx, req)
 	}
 	s.structHits.Add(1)
+	if reordered {
+		s.structReordered.Add(1)
+	}
 	if info.Joined {
 		s.structCoalesced.Add(1)
 	}
@@ -931,6 +961,7 @@ func (s *Server) Stats() StatsResponse {
 		Enabled:    s.structs != nil,
 		Hits:       s.structHits.Load(),
 		Coalesced:  s.structCoalesced.Load(),
+		Reordered:  s.structReordered.Load(),
 		Renumbered: s.structRenumbered.Load(),
 	}
 	st.Optimal = OptimalStats{

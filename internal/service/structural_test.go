@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"testing"
 
@@ -78,11 +79,12 @@ func TestStructuralHitServesRenamedSpelling(t *testing.T) {
 	}
 }
 
-// TestStructuralRenumberedCompilesFresh: a statement-permuted spelling
-// shares the fingerprint but fails the skeleton gate, so it compiles fresh
-// (and is counted) — serving a remap could diverge from what the scheduler
-// would do with the permuted IDs.
-func TestStructuralRenumberedCompilesFresh(t *testing.T) {
+// TestStructuralReorderedHit: a statement-permuted spelling shares the
+// fingerprint but fails the skeleton gate as-is; AlignLike renumbers it
+// into the class leader's canonical statement order and the remap serves
+// it without a second pipeline run. The response is class-deterministic:
+// a second server warmed with the same two spellings answers byte-identical.
+func TestStructuralReorderedHit(t *testing.T) {
 	permuted := `loop daxpy
 trip 200
 op x load
@@ -97,19 +99,29 @@ mem st a 1
 	srv := New(Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	fresh := httptest.NewServer(New(Config{}).Handler())
-	defer fresh.Close()
+	twinSrv := New(Config{})
+	twin := httptest.NewServer(twinSrv.Handler())
+	defer twin.Close()
 
-	postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: structTestLoop})
-	_, got := postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: permuted})
-	_, want := postJSON(t, fresh.Client(), fresh.URL+"/compile", CompileRequest{Loop: permuted})
+	for _, u := range []string{ts.URL, twin.URL} {
+		if r, _ := postJSON(t, ts.Client(), u+"/compile", CompileRequest{Loop: structTestLoop}); r.StatusCode != 200 {
+			t.Fatalf("leader compile: status %d", r.StatusCode)
+		}
+	}
+	r1, got := postJSON(t, ts.Client(), ts.URL+"/compile", CompileRequest{Loop: permuted})
+	r2, want := postJSON(t, twin.Client(), twin.URL+"/compile", CompileRequest{Loop: permuted})
+	if r1.StatusCode != 200 || r2.StatusCode != 200 {
+		t.Fatalf("permuted compiles: status %d / %d", r1.StatusCode, r2.StatusCode)
+	}
 	if !bytes.Equal(got, want) {
-		t.Fatalf("renumbered spelling diverged from fresh compile:\n%s\nvs\n%s", got, want)
+		t.Fatalf("reordered hit not deterministic across identically-warmed servers:\n%s\nvs\n%s", got, want)
 	}
 	st := srv.Stats()
-	if st.Sched.Compiles != 2 || st.Structural.Hits != 0 || st.Structural.Renumbered != 1 {
-		t.Fatalf("stats = compiles=%d structural=%+v, want 2 compiles and renumbered=1",
-			st.Sched.Compiles, st.Structural)
+	if st.Sched.Compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (permuted spelling must reuse the class compile)", st.Sched.Compiles)
+	}
+	if st.Structural.Hits != 1 || st.Structural.Reordered != 1 || st.Structural.Renumbered != 0 {
+		t.Fatalf("structural stats = %+v, want hits=1 reordered=1 renumbered=0", st.Structural)
 	}
 }
 
@@ -210,4 +222,118 @@ func TestStructuralRemapPropertyStressed(t *testing.T) {
 	}
 	t.Logf("stressed property: %d/%d classes compiled, %d structural hits, %d renumbered",
 		okCount, n, st.Structural.Hits, st.Structural.Renumbered)
+}
+
+// permuteSpelling re-spells a loop with a different (still valid)
+// statement order: a max-ID-first topological order over the dist-0
+// dependences, with the dep list kept in its original sequence so every
+// consumer's operand order is preserved.
+func permuteSpelling(t testing.TB, src string) string {
+	t.Helper()
+	l, err := vliwq.ParseLoop(src)
+	if err != nil {
+		t.Fatalf("permuteSpelling: %v", err)
+	}
+	n := len(l.Ops)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, d := range l.Deps {
+		if d.Dist == 0 {
+			succ[d.From] = append(succ[d.From], d.To)
+			indeg[d.To]++
+		}
+	}
+	var ready []int
+	for i, deg := range indeg {
+		if deg == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, w := range succ[v] {
+			if indeg[w]--; indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if len(order) != n {
+		t.Fatalf("permuteSpelling: dist-0 cycle in %q", l.Name)
+	}
+	perm := make([]int, n)
+	for newIdx, old := range order {
+		perm[old] = newIdx
+	}
+	cl := l.Clone()
+	for i, op := range l.Ops {
+		cp := *op
+		cp.ID = perm[i]
+		cl.Ops[perm[i]] = &cp
+	}
+	for j := range cl.Deps {
+		cl.Deps[j].From = perm[l.Deps[j].From]
+		cl.Deps[j].To = perm[l.Deps[j].To]
+	}
+	return vliwq.FormatLoop(cl)
+}
+
+// TestStructuralReorderedPropertyStressed extends the remap property to
+// statement-permuted spellings: across a slice of the stressed corpus,
+// serving a permuted spelling after its class leader must (a) agree
+// byte-for-byte with an identically-warmed independent server — the
+// class-determinism guarantee reordered hits carry — and (b) never run a
+// second pipeline compile when the permuted spelling stays in the leader's
+// fingerprint class.
+func TestStructuralReorderedPropertyStressed(t *testing.T) {
+	const n = 24
+	loops := corpus.Stressed()[:n]
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	twin := httptest.NewServer(New(Config{}).Handler())
+	defer twin.Close()
+
+	exercised := 0
+	for i, l := range loops {
+		orig := vliwq.FormatLoop(l)
+		permuted := permuteSpelling(t, orig)
+		if permuted == orig {
+			continue // chain-shaped body: only one valid statement order
+		}
+		req := CompileRequest{Loop: orig, Machine: "clustered:4", SkipVerify: true}
+		preq := req
+		preq.Loop = permuted
+
+		for _, c := range []struct {
+			client *httptest.Server
+		}{{ts}, {twin}} {
+			if r, _ := postJSON(t, c.client.Client(), c.client.URL+"/compile", req); r.StatusCode != 200 && r.StatusCode != 422 {
+				t.Fatalf("loop %d: leader status %d", i, r.StatusCode)
+			}
+		}
+		r1, got := postJSON(t, ts.Client(), ts.URL+"/compile", preq)
+		r2, want := postJSON(t, twin.Client(), twin.URL+"/compile", preq)
+		if r1.StatusCode != r2.StatusCode {
+			t.Fatalf("loop %d: permuted status %d vs twin %d", i, r1.StatusCode, r2.StatusCode)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("loop %d: permuted spelling not deterministic across servers:\n%s\nvs\n%s", i, got, want)
+		}
+		exercised++
+	}
+
+	st := srv.Stats()
+	if exercised == 0 {
+		t.Fatal("no stressed loop admitted a non-trivial permutation; property vacuous")
+	}
+	if st.Structural.Reordered == 0 {
+		t.Fatal("no permuted spelling was served as a reordered structural hit")
+	}
+	t.Logf("reordered property: %d/%d permuted spellings exercised, %d reordered hits, %d renumbered",
+		exercised, n, st.Structural.Reordered, st.Structural.Renumbered)
 }

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vliwq/internal/corpus"
+	"vliwq/internal/program"
+)
+
+// TestTracedBatchStats is the service half of the whole-program surface
+// (DESIGN.md §15): a traced program's per-region requests post to /batch
+// exactly as program.Requests emits them, hard regions answer with Bound
+// certificates, a cache-hit round trip is byte-stable, and /stats exposes
+// the per-region compile stage timings (each region is one request, so
+// stage_nanos aggregates exactly the regions' pipeline clocks).
+func TestTracedBatchStats(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p := corpus.TracedPrograms()[0] // kernelmix: 4 regions, 1 hard
+	reqs, err := program.Requests(p, program.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < 3 {
+		t.Fatalf("traced program maps to %d requests, want >= 3", len(reqs))
+	}
+
+	resp, first := postJSON(t, ts.Client(), ts.URL+"/batch", BatchRequest{Requests: reqs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, first)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(first, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(reqs) {
+		t.Fatalf("batch answered %d of %d requests", len(out.Results), len(reqs))
+	}
+	certified := 0
+	for i, e := range out.Results {
+		if e.Error != "" || e.Response == nil {
+			t.Fatalf("region %d failed: %s", i, e.Error)
+		}
+		if reqs[i].Effort == "optimal" {
+			if e.Response.Bound == nil || e.Response.Bound.Lower <= 0 {
+				t.Fatalf("hard region %d missing its Bound certificate: %+v", i, e.Response.Bound)
+			}
+			certified++
+		}
+	}
+	if certified == 0 {
+		t.Fatal("no hard region exercised the certified tier")
+	}
+
+	// Cache-hit round trip: the identical batch must answer byte-identically.
+	resp2, second := postJSON(t, ts.Client(), ts.URL+"/batch", BatchRequest{Requests: reqs})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second batch status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cache-hit round trip not byte-stable:\n%s\nvs\n%s", first, second)
+	}
+
+	st := srv.Stats()
+	if st.Sched.Compiles != int64(len(reqs)) {
+		t.Fatalf("stats compiles = %d, want %d (second batch must replay the cache)",
+			st.Sched.Compiles, len(reqs))
+	}
+	if len(st.Sched.StageNanos) == 0 {
+		t.Fatal("stats carry no per-region stage timings")
+	}
+	for _, stage := range []string{"schedule", "alloc"} {
+		if st.Sched.StageNanos[stage] <= 0 {
+			t.Fatalf("stage %q has no aggregated wall-clock: %v", stage, st.Sched.StageNanos)
+		}
+	}
+}

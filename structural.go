@@ -65,7 +65,10 @@ func (r Request) StructuralKey() string {
 // isomorphic (equal ir.Fingerprint, permuted statements) are rejected,
 // because the scheduler's ID-based tie-breaking may legitimately schedule
 // a renumbered body differently, and "byte-identical to a fresh compile"
-// is the invariant this function exists to preserve.
+// is the invariant this function exists to preserve. Callers that want to
+// serve a permuted spelling first renumber it into the cached spelling's
+// statement order with ir.AlignLike, which restores skeleton equality and
+// leaves only names for this function to rewrite.
 func RemapResult(res *Result, to *Loop) (*Result, error) {
 	if res == nil || res.Input == nil {
 		return nil, fmt.Errorf("vliwq: remap of nil result")
