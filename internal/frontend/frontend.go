@@ -27,6 +27,20 @@
 // targets must be labels already seen — forward branches and overlapping
 // (irreducible) back-edges are errors. Parsing is deterministic: the same
 // trace always yields the same Program, regions and lifted loops.
+//
+// Memory disambiguation contract: two accesses are assumed to conflict
+// only when they address through the same base value — the same base
+// register under the same reaching definition, with in-region register
+// copies (mov rB, rX) folded into the copied register's group. Accesses
+// through bases not related by an in-region copy are assumed DISJOINT;
+// traces in which two unrelated bases hold overlapping addresses are
+// outside the input contract and their cross-base orderings are not
+// preserved. Within a group the ordering is conservative: stores order
+// after every access since the previous store, and a base is exempt from
+// cross-iteration (carried) ordering only when it provably never
+// revisits an address — every in-region write to it is a self-update by
+// a nonzero immediate stride, all stepping the same direction. See
+// DESIGN.md §15.
 package frontend
 
 import (

@@ -205,6 +205,157 @@ L0:
 	}
 }
 
+// TestStoreOrdersAfterAllPriorLoads: a store conflicts with every load
+// since the previous store, not just the nearest access — and on a
+// revisiting base the carried ordering covers every access up to the
+// next iteration's first store, plus a store→store self-recurrence.
+func TestStoreOrdersAfterAllPriorLoads(t *testing.T) {
+	p, err := ParseString(`
+	mov r0, 0
+	mov r1, 100
+	mov r5, 8
+	mov r11, 7
+L0:
+	ld r9, [r1]
+	ld r10, [r1]
+	st r11, [r1]
+	sub r5, r5, 1
+	bne r5, r0, L0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, d := range p.Regions[0].Deps {
+		if d.Class == DepMem {
+			got[depString(d)] = true
+		}
+	}
+	for _, want := range []string{
+		// Both loads must read the old value before the store clobbers it.
+		"mem r1 0->2 d0",
+		"mem r1 1->2 d0",
+		// Invariant base: the store reaches every access of the next
+		// iteration up to and including itself.
+		"mem r1 2->0 d1",
+		"mem r1 2->1 d1",
+		"mem r1 2->2 d1",
+	} {
+		if !got[want] {
+			t.Errorf("missing mem dep %q in %v", want, keys(got))
+		}
+	}
+}
+
+// TestTrailingLoadOrdersBeforeNextStore: a load left open after the last
+// store must complete before the next iteration's first store overwrites
+// the address (carried WAR on memory).
+func TestTrailingLoadOrdersBeforeNextStore(t *testing.T) {
+	p, err := ParseString(`
+	mov r0, 0
+	mov r4, 100
+	mov r5, 8
+	mov r6, 3
+L0:
+	st r6, [r4]
+	ld r9, [r4]
+	sub r5, r5, 1
+	bne r5, r0, L0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, d := range p.Regions[0].Deps {
+		if d.Class == DepMem {
+			got[depString(d)] = true
+		}
+	}
+	for _, want := range []string{"mem r4 0->1 d0", "mem r4 0->0 d1", "mem r4 1->0 d1"} {
+		if !got[want] {
+			t.Errorf("missing mem dep %q in %v", want, keys(got))
+		}
+	}
+}
+
+// TestNonStridedRedefKeepsCarriedMem: redefining a base in-region only
+// discharges carried ordering when every write is a same-direction
+// nonzero-stride self-update. A copy from an invariant register or a
+// zero-net bump revisits the same address and must keep its carried dep.
+func TestNonStridedRedefKeepsCarriedMem(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"invariant copy", `
+	mov r0, 0
+	mov r5, 8
+	mov r6, 1
+	mov r7, 100
+L0:
+	mov r2, r7
+	st r6, [r2]
+	sub r5, r5, 1
+	bne r5, r0, L0
+`},
+		{"zero net stride", `
+	mov r0, 0
+	mov r2, 100
+	mov r5, 8
+	mov r6, 1
+L0:
+	add r2, r2, 4
+	st r6, [r2]
+	sub r2, r2, 4
+	sub r5, r5, 1
+	bne r5, r0, L0
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParseString(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			carried := false
+			for _, d := range p.Regions[0].Deps {
+				if d.Class == DepMem && d.Dist > 0 {
+					carried = true
+				}
+			}
+			if !carried {
+				t.Fatal("revisiting base lost its carried mem dep")
+			}
+		})
+	}
+}
+
+// TestCopiedBaseSharesAliasGroup: an access through a mov-copied base
+// register aliases accesses through the original, so the pair is ordered.
+func TestCopiedBaseSharesAliasGroup(t *testing.T) {
+	p, err := ParseString(`
+	mov r0, 0
+	mov r1, 100
+	mov r5, 8
+	mov r6, 2
+L0:
+	st r6, [r1]
+	mov r2, r1
+	ld r9, [r2]
+	sub r5, r5, 1
+	bne r5, r0, L0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range p.Regions[0].Deps {
+		if d.Class == DepMem && d.From == 0 && d.To == 2 && d.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("store [r1] and load [r2] (r2 = copy of r1) are unordered")
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []struct {
 		name, src, want string

@@ -124,15 +124,77 @@ func liftRegion(p *Program, r *Region) error {
 
 	// Memory ordering. Two accesses may alias only when they use the same
 	// base register holding the same value: same reaching definition of
-	// the base (or both loop-invariant). Within an iteration the nearest
-	// conflicting access orders them; across iterations only invariant
-	// bases (the same address every iteration) conflict — a base the
-	// region itself advances (a bumped induction pointer) never revisits
-	// an address, the standard strided-pointer disambiguation.
+	// the base (or both loop-invariant), with in-iteration register copies
+	// (mov rB, rX) folded away so an access through a copied base lands in
+	// the original register's group. Accesses through bases not related by
+	// an in-region copy are assumed disjoint — the input contract, see the
+	// package doc and DESIGN.md §15. Within an iteration a store orders
+	// after every access since the previous store and every load orders
+	// after the last store. Across iterations a group is discharged only
+	// when its base provably never revisits an address — every in-region
+	// write to it is a self-update by a nonzero immediate stride, all
+	// stepping the same direction; any other base (invariant, copied, or
+	// irregularly redefined) conservatively carries the full ordering
+	// through the back-edge.
 	type group struct {
 		base    string
 		reach   int  // reaching def body index; -1 = invariant
 		carried bool // reaching def wraps the back-edge
+	}
+	// resolve follows within-iteration copy chains: if the reaching def of
+	// the base is a register-to-register mov, the access addresses whatever
+	// value the source register held at the mov, so it joins that group.
+	resolve := func(base string, k int) group {
+		for {
+			if pd := priorDef(base, k); pd >= 0 {
+				if in := body[pd]; in.Mnemonic == "mov" && in.Srcs[0].IsReg() {
+					base, k = in.Srcs[0].Reg, pd
+					continue
+				}
+				return group{base: base, reach: pd}
+			}
+			if ld := lastDef(base); ld >= 0 {
+				return group{base: base, reach: ld, carried: true}
+			}
+			return group{base: base, reach: -1}
+		}
+	}
+	// strided reports whether reg provably never revisits an address it
+	// has already presented: every in-region write is add/sub reg, reg,
+	// imm with a nonzero stride and all strides share one direction. A
+	// copy, a zero stride, or mixed directions can re-present an old
+	// address, so anything else keeps its carried ordering.
+	strided := func(reg string) bool {
+		ds := defs[reg]
+		if len(ds) == 0 {
+			return false
+		}
+		sign := 0
+		for _, d := range ds {
+			in := body[d]
+			var delta int64
+			switch {
+			case in.Mnemonic == "add" && len(in.Srcs) == 2 && in.Srcs[0].Reg == reg && !in.Srcs[1].IsReg():
+				delta = in.Srcs[1].Imm
+			case in.Mnemonic == "add" && len(in.Srcs) == 2 && in.Srcs[1].Reg == reg && !in.Srcs[0].IsReg():
+				delta = in.Srcs[0].Imm
+			case in.Mnemonic == "sub" && len(in.Srcs) == 2 && in.Srcs[0].Reg == reg && !in.Srcs[1].IsReg():
+				delta = -in.Srcs[1].Imm
+			default:
+				return false
+			}
+			switch {
+			case delta == 0:
+				return false
+			case delta > 0 && sign >= 0:
+				sign = 1
+			case delta < 0 && sign <= 0:
+				sign = -1
+			default:
+				return false
+			}
+		}
+		return true
 	}
 	groups := make(map[group][]int)
 	var groupOrder []group
@@ -140,14 +202,7 @@ func liftRegion(p *Program, r *Region) error {
 		if in.Base == "" {
 			continue
 		}
-		g := group{base: in.Base}
-		if pd := priorDef(in.Base, k); pd >= 0 {
-			g.reach = pd
-		} else if ld := lastDef(in.Base); ld >= 0 {
-			g.reach, g.carried = ld, true
-		} else {
-			g.reach = -1
-		}
+		g := resolve(in.Base, k)
 		if _, seen := groups[g]; !seen {
 			groupOrder = append(groupOrder, g)
 		}
@@ -159,24 +214,47 @@ func liftRegion(p *Program, r *Region) error {
 	}
 	for _, g := range groupOrder {
 		accs := groups[g]
-		lastStore, lastAccess := -1, -1
+		firstStore, lastStore := -1, -1
+		var pendingLoads []int // loads since the previous store
 		for _, a := range accs {
-			isStore := body[a].Mnemonic == "st"
-			if isStore && lastAccess >= 0 {
-				memDep(lastAccess, a, 0, g.base)
-			} else if !isStore && lastStore >= 0 {
-				memDep(lastStore, a, 0, g.base)
-			}
-			if isStore {
+			if body[a].Mnemonic == "st" {
+				// The store conflicts with every access since the previous
+				// store — the loads must read the old value — and with the
+				// previous store itself.
+				for _, ld := range pendingLoads {
+					memDep(ld, a, 0, g.base)
+				}
+				if lastStore >= 0 {
+					memDep(lastStore, a, 0, g.base)
+				}
+				if firstStore < 0 {
+					firstStore = a
+				}
 				lastStore = a
+				pendingLoads = pendingLoads[:0]
+			} else {
+				if lastStore >= 0 {
+					memDep(lastStore, a, 0, g.base)
+				}
+				pendingLoads = append(pendingLoads, a)
 			}
-			lastAccess = a
 		}
-		if g.reach == -1 && lastStore >= 0 {
-			// Invariant base: the same address every iteration, so the
-			// last store must complete before the next iteration's first
-			// access.
-			memDep(lastStore, accs[0], 1, g.base)
+		if lastStore >= 0 && !strided(g.base) {
+			// Revisiting base: the same address can recur next iteration.
+			// The last store must complete before everything up to and
+			// including the next iteration's first store (later accesses
+			// are ordered behind that store transitively), and the loads
+			// left open after the last store must complete before the next
+			// iteration's first store overwrites their value.
+			for _, a := range accs {
+				memDep(lastStore, a, 1, g.base)
+				if a == firstStore {
+					break
+				}
+			}
+			for _, ld := range pendingLoads {
+				memDep(ld, firstStore, 1, g.base)
+			}
 		}
 	}
 
